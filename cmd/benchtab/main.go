@@ -1,0 +1,72 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation (Alsabti, Ranka, Singh: "A One-Pass Algorithm for Accurately
+// Estimating Quantiles for Disk-Resident Data", VLDB 1997).
+//
+// Usage:
+//
+//	benchtab -exp table3            # one experiment
+//	benchtab -exp all -scale 1      # everything at paper scale
+//	benchtab -list
+//
+// -scale divides the paper's dataset sizes: -scale 1 is paper scale
+// (1M–32M keys; minutes of CPU), -scale 10 runs in seconds. Accuracy
+// metrics (RER_A/L/N) are scale-free — their ceilings depend only on the
+// sample size s — so scaled runs reproduce the paper's numbers; the
+// simulated-time experiments report model time at any scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"opaq/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table3..table12, figure3..figure6, or all)")
+	scale := flag.Int("scale", 10, "divide the paper's dataset sizes by this factor (1 = paper scale)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experiments.Order
+	} else {
+		if registry[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	fmt.Printf("OPAQ reproduction — scale 1/%d of paper dataset sizes\n\n", *scale)
+	for _, name := range names {
+		start := time.Now()
+		tbl, err := registry[name](*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := tbl.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

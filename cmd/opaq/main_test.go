@@ -1,0 +1,150 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"opaq"
+)
+
+// The CLI handlers are plain functions over argv, so they are tested
+// directly; output goes to stdout but correctness is checked through the
+// files they produce and the errors they return.
+
+func genFile(t *testing.T, dist string, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.run")
+	if err := cmdGen([]string{"-out", path, "-n", itoa(n), "-dist", dist, "-seed", "3"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return path
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestCmdGenAllDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf", "sorted", "reverse", "normal"} {
+		path := genFile(t, dist, 5000)
+		ds, err := opaq.OpenInt64File(path)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if ds.Count() != 5000 {
+			t.Errorf("%s: count = %d", dist, ds.Count())
+		}
+	}
+}
+
+func TestCmdGenErrors(t *testing.T) {
+	if err := cmdGen([]string{"-n", "10"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := cmdGen([]string{"-out", "/tmp/x.run", "-dist", "cauchy"}); err == nil {
+		t.Error("unknown distribution should fail")
+	}
+}
+
+func TestCmdQuantiles(t *testing.T) {
+	path := genFile(t, "uniform", 20_000)
+	if err := cmdQuantiles([]string{"-in", path, "-m", "2000", "-s", "200", "-q", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuantiles([]string{"-m", "2000", "-s", "200"}); err == nil {
+		t.Error("missing -in should fail")
+	}
+	if err := cmdQuantiles([]string{"-in", path, "-m", "2000", "-s", "300"}); err == nil {
+		t.Error("s ∤ m should fail")
+	}
+}
+
+func TestCmdExactAndRank(t *testing.T) {
+	path := genFile(t, "uniform", 20_000)
+	if err := cmdExact([]string{"-in", path, "-phi", "0.5", "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExact([]string{"-in", path, "-phi", "7", "-m", "2000", "-s", "200"}); err == nil {
+		t.Error("phi=7 should fail")
+	}
+	if err := cmdRank([]string{"-in", path, "-key", "12345", "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdHistogram(t *testing.T) {
+	path := genFile(t, "zipf", 20_000)
+	if err := cmdHistogram([]string{"-in", path, "-buckets", "8", "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdHistogram([]string{"-in", path, "-buckets", "0", "-m", "2000", "-s", "200"}); err == nil {
+		t.Error("0 buckets should fail")
+	}
+}
+
+func TestCmdSort(t *testing.T) {
+	path := genFile(t, "reverse", 20_000)
+	out := filepath.Join(t.TempDir(), "sorted.run")
+	if err := cmdSort([]string{"-in", path, "-out", out, "-buckets", "4", "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := opaq.OpenInt64File(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != 20_000 {
+		t.Errorf("sorted count = %d", ds.Count())
+	}
+	if err := cmdSort([]string{"-in", path}); err == nil {
+		t.Error("missing -out should fail")
+	}
+}
+
+func TestCmdCheckpointAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	p1 := genFile(t, "uniform", 20_000)
+	p2 := genFile(t, "uniform", 20_000)
+	s1 := filepath.Join(dir, "a.sum")
+	s2 := filepath.Join(dir, "b.sum")
+	merged := filepath.Join(dir, "all.sum")
+	if err := cmdCheckpoint([]string{"-in", p1, "-out", s1, "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheckpoint([]string{"-in", p2, "-out", s2, "-m", "2000", "-s", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMerge([]string{"-a", s1, "-b", s2, "-out", merged, "-q", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSummaryFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 40_000 {
+		t.Fatalf("merged N = %d", got.N())
+	}
+	if err := cmdMerge([]string{"-a", s1}); err == nil {
+		t.Error("missing -b should fail")
+	}
+	if err := cmdCheckpoint([]string{"-in", p1, "-m", "2000", "-s", "200"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+}
+
+func TestCmdCDF(t *testing.T) {
+	path := genFile(t, "sorted", 10_000)
+	if err := cmdCDF([]string{"-in", path, "-key", "5000", "-m", "1000", "-s", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCDF([]string{"-key", "5"}); err == nil {
+		t.Error("missing -in should fail")
+	}
+}

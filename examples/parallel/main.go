@@ -1,0 +1,86 @@
+// Parallel: run OPAQ's parallel formulation on the simulated
+// message-passing machine (the paper's Section 3 on a modeled IBM SP-2).
+// Shows the per-phase time breakdown of Table 12, the bitonic-vs-sample
+// merge trade-off of Figure 3, and near-linear speedup (Figure 6) — all in
+// simulated time, with the actual quantile bounds computed for real.
+//
+// Run with: go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"opaq"
+)
+
+func main() {
+	// 8 processors × 512K keys each: every processor owns a shard on its
+	// local (simulated) disk.
+	const p, perProc = 8, 512_000
+	shards := make([][]int64, p)
+	for i := range shards {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		sh := make([]int64, perProc)
+		for j := range sh {
+			sh[j] = rng.Int63n(1 << 50)
+		}
+		shards[i] = sh
+	}
+
+	cfg := opaq.ParallelConfig{
+		Core:  opaq.Config{RunLen: 128_000, SampleSize: 1000},
+		Procs: p,
+		Merge: opaq.SampleMerge,
+		Model: opaq.DefaultCostModel(),
+		Disk:  opaq.DefaultDiskModel(),
+	}
+	res, err := opaq.ParallelRun(shards, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("parallel OPAQ: p=%d, %d keys total, simulated time %.2fs\n\n",
+		p, res.Summary.N(), res.TotalTime.Seconds())
+	total := float64(res.Phases.Total())
+	fmt.Println("phase breakdown (max over processors, fractions of phase total):")
+	fmt.Printf("  I/O          %6.1f%%\n", float64(res.Phases.IO)/total*100)
+	fmt.Printf("  sampling     %6.1f%%\n", float64(res.Phases.Sampling)/total*100)
+	fmt.Printf("  local merge  %6.1f%%\n", float64(res.Phases.LocalMerge)/total*100)
+	fmt.Printf("  global merge %6.1f%%\n", float64(res.Phases.GlobalMerge)/total*100)
+
+	fmt.Println("\ndectile bounds from the distributed sample list:")
+	bounds, err := res.Summary.Quantiles(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bounds {
+		fmt.Printf("  phi=%.1f  [%d, %d]\n", b.Phi, b.Lower, b.Upper)
+	}
+
+	// Speedup: same total data, varying machine size.
+	fmt.Println("\nspeedup at fixed total size (sample merge):")
+	var all []int64
+	for _, sh := range shards {
+		all = append(all, sh...)
+	}
+	var t1 float64
+	for _, procs := range []int{1, 2, 4, 8} {
+		per := len(all) / procs
+		shp := make([][]int64, procs)
+		for i := range shp {
+			shp[i] = all[i*per : (i+1)*per]
+		}
+		c := cfg
+		c.Procs = procs
+		r, err := opaq.ParallelRun(shp, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if procs == 1 {
+			t1 = r.TotalTime.Seconds()
+		}
+		fmt.Printf("  p=%-2d  %6.2fs  speedup %.2f\n", procs, r.TotalTime.Seconds(), t1/r.TotalTime.Seconds())
+	}
+}

@@ -1,0 +1,65 @@
+// Selectivity: the query-optimizer application from the paper's
+// introduction. Build an equi-depth histogram from one OPAQ pass over a
+// skewed attribute and estimate the selectivity of range predicates —
+// where equi-width histograms fail badly under skew, equi-depth boundaries
+// from quantiles stay accurate.
+//
+// Run with: go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"opaq"
+)
+
+func main() {
+	// A Zipf-skewed attribute, e.g. product_id in an orders table: a few
+	// hot products dominate. 1M rows, paper's skew parameter 0.86.
+	const n = 1_000_000
+	gen, err := opaq.NewZipfGenerator(7, 100_000, 0.86)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attr := make([]int64, n)
+	for i := range attr {
+		attr[i] = gen.Next()
+	}
+
+	// One pass → summary → 20-bucket equi-depth histogram.
+	sum, err := opaq.BuildFromSlice(attr, opaq.Config{RunLen: 125_000, SampleSize: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := opaq.BuildHistogram(sum, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("20-bucket equi-depth histogram over %d rows; boundary slack ≤ %d ranks, range-estimate ceiling ±%.0f rows\n\n",
+		sum.N(), hist.SlackRanks(), hist.MaxRangeError())
+
+	// Evaluate range predicates "WHERE attr BETWEEN a AND b" against truth.
+	sorted := append([]int64(nil), attr...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	trueCount := func(a, b int64) int {
+		lo := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= a })
+		hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > b })
+		return hi - lo
+	}
+
+	preds := [][2]int64{
+		{0, 1 << 59},                    // wide scan
+		{1 << 60, 1 << 61},              // mid-range
+		{sorted[n/2], sorted[n/2+n/10]}, // narrow band around the median
+		{sorted[n-n/100], sorted[n-1]},  // top 1%
+	}
+	fmt.Printf("%-14s %-14s %12s %12s %9s\n", "a", "b", "estimated", "true", "err(rows)")
+	for _, p := range preds {
+		est := hist.EstimateRange(p[0], p[1])
+		truth := trueCount(p[0], p[1])
+		fmt.Printf("%-14d %-14d %12.0f %12d %9.0f\n", p[0], p[1], est, truth, est-float64(truth))
+	}
+	fmt.Println("\nevery error is within the deterministic ceiling — usable for cost-based planning")
+}

@@ -1,0 +1,303 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"opaq/internal/datagen"
+	"opaq/internal/metrics"
+)
+
+func feed(e Estimator, xs []int64) {
+	for _, x := range xs {
+		e.Add(x)
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	r, err := NewReservoir(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Fatalf("Quantile before data = %v, want ErrNoData", err)
+	}
+	r.Add(5)
+	if _, err := r.Quantile(0); err == nil {
+		t.Fatal("phi=0 should fail")
+	}
+	if _, err := r.Quantile(1.5); err == nil {
+		t.Fatal("phi>1 should fail")
+	}
+}
+
+func TestReservoirSmallStreamExact(t *testing.T) {
+	// Stream smaller than the reservoir: quantiles are exact.
+	r, _ := NewReservoir(100, 1)
+	feed(r, []int64{9, 1, 5, 3, 7})
+	got, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("median = %d, want 5", got)
+	}
+}
+
+func TestReservoirAccuracyUniform(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(3, 1_000_000), 100_000)
+	r, _ := NewReservoir(3000, 7)
+	feed(r, xs)
+	o := metrics.NewOracle(xs)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, err := r.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := o.Quantile(phi)
+		// A 3000-point sample should land within ~2% of n in rank terms.
+		rankErr := math.Abs(float64(o.RankLE(got) - o.RankLE(truth)))
+		if rankErr/float64(len(xs)) > 0.02 {
+			t.Errorf("phi=%g: rank error %g too large", phi, rankErr/float64(len(xs)))
+		}
+	}
+	if r.MemoryElems() != 3000 {
+		t.Errorf("MemoryElems = %d", r.MemoryElems())
+	}
+}
+
+func TestAS95Validation(t *testing.T) {
+	if _, err := NewAgrawalSwami(2); err == nil {
+		t.Fatal("k=2 should fail")
+	}
+	a, err := NewAgrawalSwami(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("Quantile before data should fail with ErrNoData")
+	}
+	a.Add(1)
+	if _, err := a.Quantile(-0.1); err == nil {
+		t.Fatal("phi<0 should fail")
+	}
+}
+
+func TestAS95Accuracy(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf"} {
+		xs, err := datagen.PaperDataset(dist, 100_000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAgrawalSwami(1500) // 3000 element-equivalents
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(a, xs)
+		o := metrics.NewOracle(xs)
+		for _, phi := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			got, err := a.Quantile(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := o.Quantile(phi)
+			rankErr := math.Abs(float64(o.RankLE(got)-o.RankLE(truth))) / float64(len(xs))
+			if rankErr > 0.05 {
+				t.Errorf("%s phi=%g: rank error %.4f too large (got %d, truth %d)",
+					dist, phi, rankErr, got, truth)
+			}
+		}
+	}
+}
+
+func TestAS95MonotoneQuantiles(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(11, 1<<30), 50_000)
+	a, _ := NewAgrawalSwami(500)
+	feed(a, xs)
+	prev := int64(math.MinInt64)
+	for q := 1; q <= 9; q++ {
+		v, err := a.Quantile(float64(q) / 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("quantile %d0%% = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestP2Validation(t *testing.T) {
+	if _, err := NewP2(0); err == nil {
+		t.Fatal("phi=0 should fail")
+	}
+	if _, err := NewP2(1); err == nil {
+		t.Fatal("phi=1 should fail")
+	}
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("Quantile before data should fail")
+	}
+	p.Add(1)
+	if _, err := p.Quantile(0.9); err == nil {
+		t.Fatal("asking a 0.5-instance for 0.9 should fail")
+	}
+}
+
+func TestP2FewObservations(t *testing.T) {
+	p, _ := NewP2(0.5)
+	p.Add(10)
+	p.Add(30)
+	p.Add(20)
+	got, err := p.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("median of {10,20,30} = %d, want 20", got)
+	}
+}
+
+func TestP2AccuracyUniform(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(13, 1_000_000), 200_000)
+	o := metrics.NewOracle(xs)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		p, err := NewP2(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(p, xs)
+		got, err := p.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := o.Quantile(phi)
+		rankErr := math.Abs(float64(o.RankLE(got)-o.RankLE(truth))) / float64(len(xs))
+		// P² on uniform data converges to ~1% rank error.
+		if rankErr > 0.03 {
+			t.Errorf("phi=%g: P2 rank error %.4f (got %d, truth %d)", phi, rankErr, got, truth)
+		}
+	}
+}
+
+func TestP2MemoryConstant(t *testing.T) {
+	p, _ := NewP2(0.5)
+	if p.MemoryElems() != 15 {
+		t.Errorf("MemoryElems = %d, want 15", p.MemoryElems())
+	}
+	for i := 0; i < 100_000; i++ {
+		p.Add(int64(i * 7 % 9973))
+	}
+	if p.MemoryElems() != 15 {
+		t.Error("P2 memory grew with the stream")
+	}
+}
+
+// Sanity: each estimator's median of a known permutation of 1..n is close
+// to n/2.
+func TestAllEstimatorsMedianSanity(t *testing.T) {
+	n := 10_001
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64((i*7919)%n + 1) // permutation of 1..n
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	res, _ := NewReservoir(2000, 3)
+	as, _ := NewAgrawalSwami(200)
+	p2, _ := NewP2(0.5)
+	for _, e := range []Estimator{res, as, p2} {
+		feed(e, xs)
+		got, err := e.Quantile(0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if math.Abs(float64(got)-float64(n)/2) > float64(n)/20 {
+			t.Errorf("%s median = %d, want ≈%d", e.Name(), got, n/2)
+		}
+	}
+}
+
+func TestP2HistogramValidation(t *testing.T) {
+	if _, err := NewP2Histogram(1); err == nil {
+		t.Fatal("b=1 should fail")
+	}
+	h, err := NewP2Histogram(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("Quantile before data should fail")
+	}
+	h.Add(1)
+	if _, err := h.Quantile(0); err == nil {
+		t.Fatal("phi=0 should fail")
+	}
+}
+
+func TestP2HistogramFewObservations(t *testing.T) {
+	h, _ := NewP2Histogram(5)
+	for _, v := range []int64{30, 10, 20} {
+		h.Add(v)
+	}
+	got, err := h.Quantile(0.5)
+	if err != nil || got != 20 {
+		t.Fatalf("median of {10,20,30} = %d, %v", got, err)
+	}
+}
+
+func TestP2HistogramAccuracyUniform(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(29, 1_000_000), 200_000)
+	h, err := NewP2Histogram(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(h, xs)
+	o := metrics.NewOracle(xs)
+	for _, phi := range []float64{0.125, 0.25, 0.5, 0.75, 0.875} {
+		got, err := h.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := o.Quantile(phi)
+		rankErr := math.Abs(float64(o.RankLE(got)-o.RankLE(truth))) / float64(len(xs))
+		if rankErr > 0.03 {
+			t.Errorf("phi=%g: rank error %.4f (got %d, truth %d)", phi, rankErr, got, truth)
+		}
+	}
+	if h.MemoryElems() != 3*(2*16+1) {
+		t.Errorf("MemoryElems = %d", h.MemoryElems())
+	}
+}
+
+func TestP2HistogramMonotoneCells(t *testing.T) {
+	xs := datagen.Generate(datagen.NewNormal(31, 1e6, 1e5), 100_000)
+	h, _ := NewP2Histogram(8)
+	feed(h, xs)
+	cells := h.Cells()
+	for i := 1; i < len(cells); i++ {
+		if cells[i] < cells[i-1] {
+			t.Fatalf("cell boundaries not monotone at %d: %v", i, cells)
+		}
+	}
+}
+
+func TestP2HistogramMemoryConstant(t *testing.T) {
+	h, _ := NewP2Histogram(12)
+	before := h.MemoryElems()
+	for i := 0; i < 300_000; i++ {
+		h.Add(int64(i*31 + i%7))
+	}
+	if h.MemoryElems() != before {
+		t.Error("P2Histogram memory grew with the stream")
+	}
+}

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2 is the P² ("P-square") algorithm of Jain and Chlamtac, "The P²
+// Algorithm for Dynamic Calculation of Quantiles and Histograms Without
+// Storing Observations" (CACM 1985) — cited as [RC85] by the paper. It
+// tracks one quantile with exactly five markers whose heights are adjusted
+// by piecewise-parabolic interpolation, using O(1) memory and no storage of
+// observations. The paper lists it among prior art that "does not provide
+// any error bounds for the quantile estimates".
+type P2 struct {
+	phi     float64
+	n       int        // observations so far
+	heights [5]float64 // marker heights q_i
+	pos     [5]float64 // actual marker positions n_i (1-based)
+	want    [5]float64 // desired marker positions n'_i
+	dn      [5]float64 // desired position increments
+	init    []float64  // first five observations, pre-initialization
+}
+
+// NewP2 creates a P² estimator for the φ-quantile.
+func NewP2(phi float64) (*P2, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, fmt.Errorf("baseline: P2 needs phi in (0,1), got %g", phi)
+	}
+	p := &P2{phi: phi}
+	p.dn = [5]float64{0, phi / 2, phi, (1 + phi) / 2, 1}
+	return p, nil
+}
+
+// Name implements Estimator.
+func (p *P2) Name() string { return "P2" }
+
+// MemoryElems implements Estimator: 5 markers × (height, position, desired
+// position) ≈ 15 element-equivalents.
+func (p *P2) MemoryElems() int { return 15 }
+
+// Add implements Estimator.
+func (p *P2) Add(x int64) {
+	v := float64(x)
+	if p.n < 5 {
+		p.init = append(p.init, v)
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.init)
+			for i := 0; i < 5; i++ {
+				p.heights[i] = p.init[i]
+				p.pos[i] = float64(i + 1)
+			}
+			p.want = [5]float64{1, 1 + 2*p.phi, 1 + 4*p.phi, 3 + 2*p.phi, 5}
+			p.init = nil
+		}
+		return
+	}
+	p.n++
+	// Find cell k containing v and update extreme heights.
+	var k int
+	switch {
+	case v < p.heights[0]:
+		p.heights[0] = v
+		k = 0
+	case v >= p.heights[4]:
+		p.heights[4] = v
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 5; i++ {
+			if v < p.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.dn[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) height prediction.
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback linear height prediction.
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Quantile implements Estimator. Only the configured φ is answered; P² is
+// a single-quantile sketch (the Table 7 harness instantiates one per
+// dectile).
+func (p *P2) Quantile(phi float64) (int64, error) {
+	if p.n == 0 {
+		return 0, ErrNoData
+	}
+	if phi != p.phi {
+		return 0, fmt.Errorf("baseline: this P2 instance tracks phi=%g, asked for %g", p.phi, phi)
+	}
+	if p.n < 5 {
+		s := append([]float64(nil), p.init...)
+		sort.Float64s(s)
+		rank := int(phi * float64(len(s)))
+		if rank >= len(s) {
+			rank = len(s) - 1
+		}
+		return int64(s[rank]), nil
+	}
+	return int64(p.heights[2]), nil
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Histogram is the histogram mode of the P² algorithm ([RC85], Section
+// "The P² Algorithm for Histograms"): instead of five markers around one
+// quantile, it maintains 2b+1 markers whose desired positions are evenly
+// spaced, yielding a b-cell equi-probable histogram — all quantiles
+// i/(2b), i = 0..2b, tracked simultaneously in O(b) memory with no stored
+// observations. Like single-quantile P², it offers no error bounds; it is
+// included as the richer [RC85] comparison point against OPAQ summaries.
+type P2Histogram struct {
+	cells   int
+	markers int
+	n       int
+	heights []float64
+	pos     []float64
+	want    []float64
+	dn      []float64
+	init    []float64
+}
+
+// NewP2Histogram creates a P² histogram with b cells (2b+1 markers).
+func NewP2Histogram(b int) (*P2Histogram, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("baseline: P2Histogram needs ≥2 cells, got %d", b)
+	}
+	m := 2*b + 1
+	h := &P2Histogram{
+		cells:   b,
+		markers: m,
+		heights: make([]float64, m),
+		pos:     make([]float64, m),
+		want:    make([]float64, m),
+		dn:      make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		h.dn[i] = float64(i) / float64(m-1)
+	}
+	return h, nil
+}
+
+// Name implements Estimator.
+func (h *P2Histogram) Name() string { return "P2-histogram" }
+
+// MemoryElems implements Estimator: 3 float64 per marker.
+func (h *P2Histogram) MemoryElems() int { return 3 * h.markers }
+
+// Add implements Estimator.
+func (h *P2Histogram) Add(x int64) {
+	v := float64(x)
+	if h.n < h.markers {
+		h.init = append(h.init, v)
+		h.n++
+		if h.n == h.markers {
+			sort.Float64s(h.init)
+			for i := 0; i < h.markers; i++ {
+				h.heights[i] = h.init[i]
+				h.pos[i] = float64(i + 1)
+				h.want[i] = 1 + float64(i)*float64(h.n-1)/float64(h.markers-1)
+			}
+			h.init = nil
+		}
+		return
+	}
+	h.n++
+	// Locate the cell and bump extreme heights.
+	var k int
+	switch {
+	case v < h.heights[0]:
+		h.heights[0] = v
+		k = 0
+	case v >= h.heights[h.markers-1]:
+		h.heights[h.markers-1] = v
+		k = h.markers - 2
+	default:
+		k = sort.SearchFloat64s(h.heights, v)
+		if k > 0 && h.heights[k] > v {
+			k--
+		}
+		if k >= h.markers-1 {
+			k = h.markers - 2
+		}
+	}
+	for i := k + 1; i < h.markers; i++ {
+		h.pos[i]++
+	}
+	for i := 0; i < h.markers; i++ {
+		h.want[i] += h.dn[i]
+	}
+	for i := 1; i < h.markers-1; i++ {
+		d := h.want[i] - h.pos[i]
+		if (d >= 1 && h.pos[i+1]-h.pos[i] > 1) || (d <= -1 && h.pos[i-1]-h.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			nh := h.parabolic(i, sign)
+			if h.heights[i-1] < nh && nh < h.heights[i+1] {
+				h.heights[i] = nh
+			} else {
+				h.heights[i] = h.linear(i, sign)
+			}
+			h.pos[i] += sign
+		}
+	}
+}
+
+func (h *P2Histogram) parabolic(i int, d float64) float64 {
+	return h.heights[i] + d/(h.pos[i+1]-h.pos[i-1])*
+		((h.pos[i]-h.pos[i-1]+d)*(h.heights[i+1]-h.heights[i])/(h.pos[i+1]-h.pos[i])+
+			(h.pos[i+1]-h.pos[i]-d)*(h.heights[i]-h.heights[i-1])/(h.pos[i]-h.pos[i-1]))
+}
+
+func (h *P2Histogram) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return h.heights[i] + d*(h.heights[j]-h.heights[i])/(h.pos[j]-h.pos[i])
+}
+
+// Quantile implements Estimator by interpolating between the two nearest
+// markers of the requested fraction.
+func (h *P2Histogram) Quantile(phi float64) (int64, error) {
+	if h.n == 0 {
+		return 0, ErrNoData
+	}
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("baseline: phi=%g out of (0,1]", phi)
+	}
+	if h.n < h.markers {
+		s := append([]float64(nil), h.init...)
+		sort.Float64s(s)
+		rank := int(phi * float64(len(s)))
+		if rank >= len(s) {
+			rank = len(s) - 1
+		}
+		return int64(s[rank]), nil
+	}
+	exact := phi * float64(h.markers-1)
+	i := int(exact)
+	if i >= h.markers-1 {
+		return int64(h.heights[h.markers-1]), nil
+	}
+	frac := exact - float64(i)
+	return int64(h.heights[i] + frac*(h.heights[i+1]-h.heights[i])), nil
+}
+
+// Cells returns the histogram cell boundaries (marker heights).
+func (h *P2Histogram) Cells() []float64 {
+	out := make([]float64, h.markers)
+	copy(out, h.heights)
+	return out
+}

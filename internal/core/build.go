@@ -1,0 +1,174 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"opaq/internal/merge"
+	"opaq/internal/runio"
+	"opaq/internal/selection"
+)
+
+// Build executes OPAQ's sample phase over one sequential scan of rr,
+// returning the Summary used by the quantile phase. This is the algorithm
+// of Figure 1 in the paper: for each run, extract the s regular sample
+// points with an O(m log s) multi-selection, then merge the per-run sorted
+// sample lists.
+//
+// Runs shorter than cfg.RunLen are handled exactly: a short run of length
+// m' contributes ⌊m'·s/m⌋ sample points at the same sub-run spacing, and
+// the uncovered remainder widens ErrorBound by its size. For inputs whose
+// length is divisible by RunLen (the paper's assumption) the Lemma 1–3
+// guarantees hold verbatim.
+func Build[T cmp.Ordered](rr runio.RunReader[T], cfg Config) (*Summary[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rr.RunLen() != cfg.RunLen {
+		return nil, fmt.Errorf("%w: reader run length %d != config RunLen %d",
+			ErrConfig, rr.RunLen(), cfg.RunLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	step := cfg.Step()
+
+	var (
+		sampleLists [][]T
+		n           int64
+		leftover    int64
+		runs        int64
+		minV, maxV  T
+	)
+	for {
+		run, err := rr.NextRun()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: sample phase read: %w", err)
+		}
+		if len(run) == 0 {
+			continue
+		}
+		runs++
+		for _, v := range run {
+			if n == 0 {
+				minV, maxV = v, v
+			} else {
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+			n++
+		}
+		si := len(run) / step // samples this run contributes
+		leftover += int64(len(run) - si*step)
+		if si == 0 {
+			continue
+		}
+		ranks := make([]int, si)
+		for k := 1; k <= si; k++ {
+			ranks[k-1] = k*step - 1
+		}
+		samples, err := selection.MultiSelect(run, ranks, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample phase select: %w", err)
+		}
+		sampleLists = append(sampleLists, samples)
+	}
+	if n == 0 {
+		return &Summary[T]{step: int64(step)}, nil
+	}
+	return &Summary[T]{
+		samples:  merge.KWay(sampleLists),
+		step:     int64(step),
+		runs:     runs,
+		n:        n,
+		leftover: leftover,
+		min:      minV,
+		max:      maxV,
+	}, nil
+}
+
+// BuildFromDataset is Build over a fresh scan of ds with runs of
+// cfg.RunLen elements — the whole-dataset entry point.
+func BuildFromDataset[T cmp.Ordered](ds runio.Dataset[T], cfg Config) (*Summary[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rr, err := ds.Runs(cfg.RunLen)
+	if err != nil {
+		return nil, err
+	}
+	return Build(rr, cfg)
+}
+
+// BuildFromSlice is Build over an in-memory slice; the slice is not
+// modified. Intended for tests, examples and small inputs.
+func BuildFromSlice[T cmp.Ordered](xs []T, cfg Config) (*Summary[T], error) {
+	return BuildFromDataset[T](runio.NewMemoryDataset(xs, 8), cfg)
+}
+
+// ExactQuantile performs the paper's Section 4 extension: one extra pass
+// over the data turns the [e_l, e_u] enclosure into the exact quantile
+// value. The pass counts the elements below e_l and retains only those
+// inside the enclosure — at most 2n/s + slack values by Lemma 3 — which are
+// then sorted (via selection, O(window)) to extract the exact rank.
+func ExactQuantile[T cmp.Ordered](ds runio.Dataset[T], s *Summary[T], phi float64) (T, error) {
+	var zero T
+	b, err := s.Bounds(phi)
+	if err != nil {
+		return zero, err
+	}
+	rr, err := ds.Runs(int(minInt64(int64(1<<16), maxInt64(s.step, 1024))))
+	if err != nil {
+		return zero, err
+	}
+	var below int64 // elements strictly below e_l
+	window := make([]T, 0, 2*(s.n/maxInt64(int64(len(s.samples)), 1))+16)
+	for {
+		run, err := rr.NextRun()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return zero, fmt.Errorf("core: exact pass read: %w", err)
+		}
+		for _, v := range run {
+			switch {
+			case v < b.Lower:
+				below++
+			case v <= b.Upper:
+				window = append(window, v)
+			}
+		}
+	}
+	idx := b.Rank - below - 1 // 0-based rank within the window
+	if idx < 0 || idx >= int64(len(window)) {
+		return zero, fmt.Errorf("core: exact pass window does not cover rank %d (below=%d, window=%d); summary inconsistent with dataset",
+			b.Rank, below, len(window))
+	}
+	v, err := selection.Select(window, int(idx), rand.New(rand.NewSource(s.step)))
+	if err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

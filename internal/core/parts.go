@@ -1,0 +1,75 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"opaq/internal/merge"
+)
+
+// SummaryParts are the raw ingredients of a Summary, exposed so that the
+// parallel formulation (internal/parallel) can assemble the global summary
+// after its distributed sample phase. The quantile phase then proceeds
+// identically to the sequential algorithm with r·p total runs (paper,
+// Section 3: "substituting rp instead of r").
+type SummaryParts[T cmp.Ordered] struct {
+	// Samples is the globally sorted sample list.
+	Samples []T
+	// Step is m/s, which must be identical on every processor.
+	Step int64
+	// Runs is the total number of runs across all processors.
+	Runs int64
+	// N is the total number of data elements.
+	N int64
+	// Leftover counts elements in ragged run tails not covered by samples.
+	Leftover int64
+	// Min and Max are the exact global extrema.
+	Min, Max T
+}
+
+// NewSummary validates parts and assembles a Summary. It enforces the
+// structural invariants the quantile-phase formulas rely on: a sorted
+// sample list whose length, step, runs and leftover are consistent with N.
+func NewSummary[T cmp.Ordered](parts SummaryParts[T]) (*Summary[T], error) {
+	if parts.N < 0 || parts.Runs < 0 || parts.Leftover < 0 {
+		return nil, fmt.Errorf("%w: negative counts in parts", ErrConfig)
+	}
+	if parts.N == 0 {
+		return &Summary[T]{step: parts.Step}, nil
+	}
+	if parts.Step <= 0 {
+		return nil, fmt.Errorf("%w: step must be positive, got %d", ErrConfig, parts.Step)
+	}
+	if !merge.IsSorted(parts.Samples) {
+		return nil, fmt.Errorf("%w: sample list not sorted", ErrConfig)
+	}
+	if covered := int64(len(parts.Samples))*parts.Step + parts.Leftover; covered != parts.N {
+		return nil, fmt.Errorf("%w: samples·step + leftover = %d, but N = %d",
+			ErrConfig, covered, parts.N)
+	}
+	if parts.Max < parts.Min {
+		return nil, fmt.Errorf("%w: max %v < min %v", ErrConfig, parts.Max, parts.Min)
+	}
+	return &Summary[T]{
+		samples:  parts.Samples,
+		step:     parts.Step,
+		runs:     parts.Runs,
+		n:        parts.N,
+		leftover: parts.Leftover,
+		min:      parts.Min,
+		max:      parts.Max,
+	}, nil
+}
+
+// Parts decomposes a Summary; inverse of NewSummary.
+func (s *Summary[T]) Parts() SummaryParts[T] {
+	return SummaryParts[T]{
+		Samples:  s.samples,
+		Step:     s.step,
+		Runs:     s.runs,
+		N:        s.n,
+		Leftover: s.leftover,
+		Min:      s.min,
+		Max:      s.max,
+	}
+}

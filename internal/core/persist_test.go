@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"opaq/internal/datagen"
+	"opaq/internal/runio"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(3, 1<<40), 25_000)
+	s, err := BuildFromSlice(xs, Config{RunLen: 2500, SampleSize: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSummary[int64](&buf, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Runs() != s.Runs() || got.Step() != s.Step() ||
+		got.Min() != s.Min() || got.Max() != s.Max() || got.SampleCount() != s.SampleCount() {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got.Parts(), s.Parts())
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 1.0} {
+		a, _ := s.Bounds(phi)
+		b, _ := got.Bounds(phi)
+		if a.Lower != b.Lower || a.Upper != b.Upper {
+			t.Errorf("phi=%g: bounds changed across save/load", phi)
+		}
+	}
+}
+
+func TestSaveLoadEmptySummary(t *testing.T) {
+	s, err := BuildFromSlice[int64](nil, Config{RunLen: 8, SampleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSummary[int64](&buf, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 {
+		t.Fatalf("N = %d", got.N())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	_, err := LoadSummary[int64](bytes.NewReader([]byte("not a summary at all")), runio.Int64Codec{})
+	if !errors.Is(err, ErrSummaryFormat) {
+		t.Fatalf("error = %v, want ErrSummaryFormat", err)
+	}
+}
+
+func TestLoadRejectsWrongCodec(t *testing.T) {
+	s, err := BuildFromSlice([]int64{1, 2, 3, 4}, Config{RunLen: 4, SampleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSummary[float64](&buf, runio.Float64Codec{}); !errors.Is(err, ErrSummaryFormat) {
+		t.Fatalf("error = %v, want ErrSummaryFormat", err)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	s, err := BuildFromSlice(datagen.Generate(datagen.NewUniform(1, 1000), 1000),
+		Config{RunLen: 100, SampleSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the sample payload.
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := LoadSummary[int64](bytes.NewReader(raw), runio.Int64Codec{}); !errors.Is(err, ErrSummaryFormat) {
+		t.Fatalf("error = %v, want ErrSummaryFormat (corruption)", err)
+	}
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	s, err := BuildFromSlice(datagen.Generate(datagen.NewUniform(1, 1000), 1000),
+		Config{RunLen: 100, SampleSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-10]
+	if _, err := LoadSummary[int64](bytes.NewReader(raw), runio.Int64Codec{}); !errors.Is(err, ErrSummaryFormat) {
+		t.Fatalf("error = %v, want ErrSummaryFormat (truncation)", err)
+	}
+}
+
+func TestSaveLoadThenMergeContinuesIncremental(t *testing.T) {
+	// The paper's checkpointing scenario: save after day 1, load, ingest
+	// day 2, merge — identical to having never stopped.
+	cfg := Config{RunLen: 1000, SampleSize: 100}
+	day1 := datagen.Generate(datagen.NewUniform(5, 1<<30), 10_000)
+	day2 := datagen.Generate(datagen.NewUniform(6, 1<<30), 10_000)
+
+	s1, err := BuildFromSlice(day1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSummary(&buf, s1, runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSummary[int64](&buf, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildFromSlice(day2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCheckpoint, err := Merge(restored, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Merge(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		a, _ := viaCheckpoint.Bounds(phi)
+		b, _ := direct.Bounds(phi)
+		if a.Lower != b.Lower || a.Upper != b.Upper {
+			t.Errorf("phi=%g: checkpointed path diverges from direct path", phi)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// Plan chooses sample-phase parameters under a memory budget. The paper's
+// constraint (Section 2.3) is
+//
+//	r·s + m ≤ M
+//
+// — the merged sample lists of all r = n/m runs plus one resident run must
+// fit in M elements of memory — together with s ≥ 2q for good bounds on q
+// quantiles.
+type Plan struct {
+	// Config holds the chosen RunLen (m) and SampleSize (s).
+	Config Config
+	// Runs is r = ⌈n/m⌉.
+	Runs int64
+	// MemoryElems is the worst-case resident element count, r·s + m.
+	MemoryElems int64
+	// ErrorFraction is the guarantee as a fraction of n: at most
+	// ErrorFraction·n elements between a true quantile and either bound
+	// (= 1/s for full runs).
+	ErrorFraction float64
+}
+
+// PlanConfig picks (m, s) for a dataset of n elements under a memory budget
+// of memElems elements so that q quantiles get the tightest achievable
+// deterministic bound. It maximizes s subject to s ≥ 2q, s | m and
+// r·s + m ≤ memElems, preferring balanced m ≈ √(n·s) which minimizes
+// memory use at fixed s.
+func PlanConfig(n int64, memElems int64, q int) (Plan, error) {
+	if n <= 0 {
+		return Plan{}, fmt.Errorf("%w: n must be positive, got %d", ErrConfig, n)
+	}
+	if q < 1 {
+		return Plan{}, fmt.Errorf("%w: q must be ≥ 1, got %d", ErrConfig, q)
+	}
+	sMin := int64(2 * q)
+	if sMin < 2 {
+		sMin = 2
+	}
+	// Feasibility floor: with s = sMin and the memory-minimizing m, need
+	// r·s + m ≈ 2·√(n·s) ≤ memElems.
+	best := Plan{}
+	found := false
+	// Search s over powers of two ≥ sMin (the paper assumes s, m powers of
+	// two for the median-splitting multi-select; our multi-select has no
+	// such restriction but powers of two keep divisibility trivial).
+	for s := ceilPow2(sMin); ; s <<= 1 {
+		m := memoryMinimizingRunLen(n, s)
+		if m < s {
+			m = s
+		}
+		m = roundUpToMultiple(m, s)
+		r := (n + m - 1) / m
+		mem := r*s + m
+		if mem > memElems {
+			break
+		}
+		best = Plan{
+			Config:        Config{RunLen: int(m), SampleSize: int(s)},
+			Runs:          r,
+			MemoryElems:   mem,
+			ErrorFraction: 1 / float64(s),
+		}
+		found = true
+		if s > n {
+			break
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("%w: memory budget %d elements too small for n=%d, q=%d (need ≥ ~2·√(n·s), s=%d)",
+			ErrConfig, memElems, n, q, sMin)
+	}
+	return best, nil
+}
+
+// memoryMinimizingRunLen returns m ≈ √(n·s), which minimizes r·s + m over m
+// at fixed s (calculus: d/dm (n·s/m + m) = 0 at m = √(n·s)).
+func memoryMinimizingRunLen(n, s int64) int64 {
+	lo, hi := int64(1), n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mid*mid >= n*s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ceilPow2 returns the smallest power of two ≥ x.
+func ceilPow2(x int64) int64 {
+	p := int64(1)
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// roundUpToMultiple rounds x up to the nearest multiple of k.
+func roundUpToMultiple(x, k int64) int64 {
+	if rem := x % k; rem != 0 {
+		return x + k - rem
+	}
+	return x
+}

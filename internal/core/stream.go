@@ -1,0 +1,137 @@
+package core
+
+import (
+	"cmp"
+	"math/rand"
+
+	"opaq/internal/merge"
+	"opaq/internal/selection"
+)
+
+// StreamBuilder ingests elements one at a time (or in arbitrary batches)
+// and maintains an OPAQ summary over everything seen so far. It is the
+// push-based counterpart of Build for callers that do not have their data
+// behind a RunReader — e.g. a metrics pipeline observing latencies.
+//
+// Internally it buffers up to RunLen elements; each full buffer becomes
+// one run and is sampled exactly as the pull-based sample phase would, so
+// Summary() returns bounds identical to running Build over the same
+// element sequence. The buffered tail (a partial run) is folded in on
+// Summary() with the same ragged-run accounting Build uses, at the cost
+// of an O(RunLen log s) flush.
+type StreamBuilder[T cmp.Ordered] struct {
+	cfg      Config
+	rng      *rand.Rand
+	buf      []T
+	lists    [][]T
+	runs     int64
+	n        int64
+	leftover int64
+	min, max T
+}
+
+// NewStreamBuilder returns a streaming builder for the given config.
+func NewStreamBuilder[T cmp.Ordered](cfg Config) (*StreamBuilder[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StreamBuilder[T]{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		buf: make([]T, 0, cfg.RunLen),
+	}, nil
+}
+
+// Add observes one element. Amortized cost is O(log s) per element.
+func (b *StreamBuilder[T]) Add(v T) error {
+	if b.n == 0 {
+		b.min, b.max = v, v
+	} else {
+		if v < b.min {
+			b.min = v
+		}
+		if v > b.max {
+			b.max = v
+		}
+	}
+	b.n++
+	b.buf = append(b.buf, v)
+	if len(b.buf) == b.cfg.RunLen {
+		return b.flush()
+	}
+	return nil
+}
+
+// AddBatch observes a batch of elements.
+func (b *StreamBuilder[T]) AddBatch(vs []T) error {
+	for _, v := range vs {
+		if err := b.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// N returns the number of elements observed.
+func (b *StreamBuilder[T]) N() int64 { return b.n }
+
+// flush samples the buffered run and clears the buffer.
+func (b *StreamBuilder[T]) flush() error {
+	step := b.cfg.Step()
+	si := len(b.buf) / step
+	b.leftover += int64(len(b.buf) - si*step)
+	b.runs++
+	if si > 0 {
+		ranks := make([]int, si)
+		for k := 1; k <= si; k++ {
+			ranks[k-1] = k*step - 1
+		}
+		samples, err := selection.MultiSelect(b.buf, ranks, b.rng)
+		if err != nil {
+			return err
+		}
+		b.lists = append(b.lists, samples)
+	}
+	b.buf = make([]T, 0, b.cfg.RunLen)
+	return nil
+}
+
+// Summary returns the summary over everything observed so far. The
+// builder remains usable afterwards; the buffered partial run is consumed
+// as a (ragged) run of its own, exactly as Build treats a short final
+// run.
+func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
+	if b.n == 0 {
+		return &Summary[T]{step: int64(b.cfg.Step())}, nil
+	}
+	// Flush the tail into a copy of the state so ingestion can continue.
+	lists := b.lists
+	runs, leftover := b.runs, b.leftover
+	if len(b.buf) > 0 {
+		step := b.cfg.Step()
+		si := len(b.buf) / step
+		leftover += int64(len(b.buf) - si*step)
+		runs++
+		if si > 0 {
+			ranks := make([]int, si)
+			for k := 1; k <= si; k++ {
+				ranks[k-1] = k*step - 1
+			}
+			cp := append([]T(nil), b.buf...)
+			samples, err := selection.MultiSelect(cp, ranks, b.rng)
+			if err != nil {
+				return nil, err
+			}
+			lists = append(lists[:len(lists):len(lists)], samples)
+		}
+	}
+	return &Summary[T]{
+		samples:  merge.KWay(lists),
+		step:     int64(b.cfg.Step()),
+		runs:     runs,
+		n:        b.n,
+		leftover: leftover,
+		min:      b.min,
+		max:      b.max,
+	}, nil
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Run every experiment at heavy scale-down and sanity-check the shapes the
+// paper reports. These are the integration tests tying the whole system
+// together; bench_test.go at the module root runs the same experiments
+// under testing.B.
+
+const testScale = 40 // 1M → 25k, parallel sizes likewise
+
+func cellsAsFloats(t *testing.T, tbl *Table) [][]float64 {
+	t.Helper()
+	out := make([][]float64, len(tbl.Rows))
+	for i, r := range tbl.Rows {
+		out[i] = make([]float64, len(r.Cells))
+		for j, c := range r.Cells {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("%s row %q cell %d = %q not numeric: %v", tbl.ID, r.Label, j, c, err)
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl, err := Table3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 dectiles", len(tbl.Rows))
+	}
+	vals := cellsAsFloats(t, tbl)
+	// Columns: U250 U500 U1000 Z250 Z500 Z1000. Doubling s halves RER_A,
+	// and every value obeys the 2/s·100 ceiling.
+	ceil := func(s float64) float64 { return 2 / s * 100 }
+	for _, row := range vals {
+		for j, s := range []float64{250, 500, 1000, 250, 500, 1000} {
+			if row[j] < 0 || row[j] > ceil(s)+0.01 {
+				t.Errorf("RER_A %g violates ceiling %g for s=%g", row[j], ceil(s), s)
+			}
+		}
+	}
+	// Average across dectiles halves from s=250 to s=1000 (within 2×).
+	avg := func(col int) float64 {
+		s := 0.0
+		for _, row := range vals {
+			s += row[col]
+		}
+		return s / float64(len(vals))
+	}
+	if !(avg(2) < avg(0)) || !(avg(5) < avg(3)) {
+		t.Errorf("RER_A should shrink with s: uniform %g→%g, zipf %g→%g",
+			avg(0), avg(2), avg(3), avg(5))
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tbl, err := Table4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl)
+	if len(vals) != 2 {
+		t.Fatalf("rows = %d", len(vals))
+	}
+	// RER_L and RER_N shrink as s grows, and respect ~2q/s·100 ceilings.
+	for _, row := range vals {
+		if !(row[2] <= row[0]+0.01 && row[5] <= row[3]+0.01) {
+			t.Errorf("error rates should shrink with s: %v", row)
+		}
+		for j, s := range []float64{250, 500, 1000, 250, 500, 1000} {
+			if row[j] > 2*10/s*100*1.2 {
+				t.Errorf("value %g exceeds 2q/s ceiling for s=%g", row[j], s)
+			}
+		}
+	}
+}
+
+func TestTable5And6SizeIndependence(t *testing.T) {
+	tbl5, err := Table5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl5)
+	// At s=1000 every cell must obey the 0.2 ceiling; the paper reports
+	// ~0.09 everywhere.
+	for _, row := range vals {
+		for _, v := range row {
+			if v > 0.21 {
+				t.Errorf("Table5 RER_A %g exceeds 2/s ceiling 0.2", v)
+			}
+		}
+	}
+	tbl6, err := Table6(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals6 := cellsAsFloats(t, tbl6)
+	for _, row := range vals6 {
+		for _, v := range row {
+			if v > 2.5 {
+				t.Errorf("Table6 value %g implausibly large", v)
+			}
+		}
+	}
+}
+
+func TestTable7OPAQRespectsBound(t *testing.T) {
+	tbl, err := Table7(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl)
+	for _, row := range vals {
+		// OPAQ columns 0 and 3: deterministic ceiling 2/s·100 = 0.2.
+		if row[0] > 0.21 || row[3] > 0.21 {
+			t.Errorf("OPAQ RER_A %g/%g exceeds deterministic ceiling", row[0], row[3])
+		}
+		// Baselines: sane magnitudes (paper: ≤ 0.6).
+		for _, j := range []int{1, 2, 4, 5} {
+			if row[j] > 5 {
+				t.Errorf("baseline RER_A %g implausible", row[j])
+			}
+		}
+	}
+}
+
+func TestFigure3Crossover(t *testing.T) {
+	tbl, err := Figure3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl)
+	if len(vals) != 8 {
+		t.Fatalf("rows = %d, want 8 sizes", len(vals))
+	}
+	// Columns: bit2 smp2 bit4 smp4 bit8 smp8.
+	// Paper shape: bitonic wins at the small end for small p; sample merge
+	// wins at the large end for large p.
+	first, last := vals[0], vals[len(vals)-1]
+	if !(first[0] < first[1]) {
+		t.Errorf("at 1KB, p=2: bitonic %g should beat sample %g", first[0], first[1])
+	}
+	if !(last[5] < last[4]) {
+		t.Errorf("at 128KB, p=8: sample %g should beat bitonic %g", last[5], last[4])
+	}
+}
+
+func TestTable9And10Parallel(t *testing.T) {
+	tbl, err := Table9(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl)
+	for _, row := range vals {
+		for _, v := range row {
+			if v > 0.25 {
+				t.Errorf("parallel RER_A %g exceeds ceiling", v)
+			}
+		}
+	}
+	tbl10, err := Table10(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cellsAsFloats(t, tbl10) {
+		for _, v := range row {
+			if v > 3 {
+				t.Errorf("parallel RER_L/N %g implausible", v)
+			}
+		}
+	}
+}
+
+func TestTable11IOFraction(t *testing.T) {
+	tbl, err := Table11(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cellsAsFloats(t, tbl) {
+		for _, v := range row {
+			if v < 0.35 || v > 0.70 {
+				t.Errorf("I/O fraction %g outside the paper's 0.40–0.57 band (±slack)", v)
+			}
+		}
+	}
+}
+
+func TestTable12PhaseBreakdown(t *testing.T) {
+	tbl, err := Table12(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := cellsAsFloats(t, tbl)
+	// Rows: I/O, Sampling, Local, Global. I/O + sampling dominate (paper:
+	// ≥ 83%); global merge grows with p.
+	for col := 0; col < len(vals[0]); col++ {
+		if vals[0][col]+vals[1][col] < 0.80 {
+			t.Errorf("I/O+sampling fraction %g < 0.80 at col %d", vals[0][col]+vals[1][col], col)
+		}
+	}
+	g := vals[3]
+	if !(g[len(g)-1] > g[0]) {
+		t.Errorf("global merge fraction should grow with p: %v", g)
+	}
+}
+
+func TestFigures456Scalability(t *testing.T) {
+	f4, err := Figure4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cellsAsFloats(t, f4) {
+		// Scale-up: time at p=16 within 2× of p=2 (paper: nearly flat).
+		if row[len(row)-1] > 2*row[0] {
+			t.Errorf("scale-up degrades: %v", row)
+		}
+	}
+	f5, err := Figure5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cellsAsFloats(t, f5) {
+		// Size-up: 8× data within [4×, 16×] time.
+		ratio := row[len(row)-1] / row[0]
+		if ratio < 4 || ratio > 16 {
+			t.Errorf("size-up ratio %g outside [4,16]: %v", ratio, row)
+		}
+	}
+	f6, err := Figure6(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := cellsAsFloats(t, f6)
+	sp8 := rows[len(rows)-1][1] // speedup column of p=8
+	if sp8 < 4 {
+		t.Errorf("speedup at p=8 = %g, want ≥ 4", sp8)
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != len(Order) {
+		t.Fatalf("registry has %d entries, order %d", len(all), len(Order))
+	}
+	for _, name := range Order {
+		if all[name] == nil {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID: "Table X", Title: "demo",
+		Header: []string{"A", "B"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("r1", "v1")
+	var sb strings.Builder
+	if err := tbl.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table X", "demo", "r1", "v1", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationSplitShape(t *testing.T) {
+	tbl, err := AblationSplit(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The deterministic bound must shrink as s grows, and the observed gap
+	// must never exceed the bound.
+	prevBound := int64(1 << 62)
+	for _, r := range tbl.Rows {
+		bound, err1 := strconv.ParseInt(r.Cells[2], 10, 64)
+		gap, err2 := strconv.ParseInt(r.Cells[4], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable cells in %v", r.Cells)
+		}
+		if bound >= prevBound {
+			t.Errorf("bound should shrink as s grows: %v", r.Cells)
+		}
+		prevBound = bound
+		if gap > bound {
+			t.Errorf("observed gap %d exceeds deterministic bound %d", gap, bound)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package extsort implements external sorting by quantile partitioning —
+// one of the applications motivating the paper ("quantiles can be used for
+// external sorting. Data can be partitioned using quantiles into a number
+// of partitions such that each partition fits into main memory").
+//
+// The sort proceeds in three passes over run files:
+//
+//  1. OPAQ pass: build a quantile summary of the input (one pass).
+//  2. Partition pass: choose k−1 splitters at the 1/k … (k−1)/k quantile
+//     upper bounds and scatter the input into k bucket files (one pass).
+//     Lemma 1 guarantees each bucket holds at most n/k + n/s elements plus
+//     the duplicate mass on its boundary, so with s ≥ 2k a bucket sized
+//     for 1.5·n/k elements always fits.
+//  3. Merge pass: load each bucket, sort it in memory, and append to the
+//     output (one pass). Buckets are in splitter order, so concatenation
+//     is globally sorted.
+//
+// The same partitioning doubles as the load-balancing primitive the paper
+// cites ([DNS91]): Stats.BucketSizes and Stats.Imbalance expose how evenly
+// the splitters cut the data.
+package extsort
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"opaq/internal/core"
+	"opaq/internal/runio"
+)
+
+// Options configures an external sort.
+type Options struct {
+	// Buckets is k, the number of partitions. Each bucket must fit in
+	// memory; choose k ≥ n/M.
+	Buckets int
+	// Config is the OPAQ sample-phase configuration for the splitter pass.
+	Config core.Config
+	// TempDir holds the bucket files; defaults to the output directory.
+	TempDir string
+}
+
+// Stats reports what the sort did.
+type Stats struct {
+	// N is the number of elements sorted.
+	N int64
+	// BucketSizes is the actual population of each bucket after the
+	// partition pass.
+	BucketSizes []int64
+	// MaxBucket is the largest bucket population.
+	MaxBucket int64
+	// Splitters are the k−1 partition boundaries used.
+	Splitters []int64
+}
+
+// Imbalance returns max bucket size over ideal (n/k); 1.0 is perfect.
+func (s Stats) Imbalance() float64 {
+	if s.N == 0 || len(s.BucketSizes) == 0 {
+		return 1
+	}
+	ideal := float64(s.N) / float64(len(s.BucketSizes))
+	return float64(s.MaxBucket) / ideal
+}
+
+// Sort externally sorts the run file at inPath into outPath.
+func Sort(inPath, outPath string, opts Options) (Stats, error) {
+	var st Stats
+	if opts.Buckets < 1 {
+		return st, fmt.Errorf("extsort: need ≥1 bucket, got %d", opts.Buckets)
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return st, err
+	}
+	codec := runio.Int64Codec{}
+	ds, err := runio.OpenFile(inPath, codec)
+	if err != nil {
+		return st, err
+	}
+	st.N = ds.Count()
+	if st.N == 0 {
+		return st, runio.WriteFile(outPath, codec, nil)
+	}
+
+	// Pass 1: OPAQ summary.
+	sum, err := core.BuildFromDataset[int64](ds, opts.Config)
+	if err != nil {
+		return st, err
+	}
+
+	// Splitters: upper bounds of the i/k quantiles (upper bounds guarantee
+	// that everything ≤ splitter i has rank ≤ i·n/k + n/s).
+	k := opts.Buckets
+	for i := 1; i < k; i++ {
+		b, err := sum.Bounds(float64(i) / float64(k))
+		if err != nil {
+			return st, err
+		}
+		st.Splitters = append(st.Splitters, b.Upper)
+	}
+
+	// Pass 2: scatter into bucket files.
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = filepath.Dir(outPath)
+	}
+	writers := make([]*runio.Writer[int64], k)
+	paths := make([]string, k)
+	for i := range writers {
+		paths[i] = filepath.Join(tempDir, fmt.Sprintf("bucket-%04d.run", i))
+		w, err := runio.NewWriter(paths[i], codec)
+		if err != nil {
+			return st, err
+		}
+		writers[i] = w
+	}
+	cleanup := func() {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}
+	defer cleanup()
+
+	rr, err := ds.Runs(opts.Config.RunLen)
+	if err != nil {
+		return st, err
+	}
+	st.BucketSizes = make([]int64, k)
+	for {
+		run, err := rr.NextRun()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		for _, v := range run {
+			b := searchInt64s(st.Splitters, v) // first splitter ≥ v
+			if err := writers[b].Append(v); err != nil {
+				return st, err
+			}
+			st.BucketSizes[b]++
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return st, err
+		}
+	}
+	for _, c := range st.BucketSizes {
+		if c > st.MaxBucket {
+			st.MaxBucket = c
+		}
+	}
+
+	// Pass 3: sort each bucket in memory and concatenate.
+	out, err := runio.NewSortedWriter(outPath, codec)
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < k; i++ {
+		bds, err := runio.OpenFile(paths[i], codec)
+		if err != nil {
+			out.Close()
+			return st, err
+		}
+		vals, err := runio.ReadAll[int64](bds)
+		if err != nil {
+			out.Close()
+			return st, err
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		if err := out.Append(vals...); err != nil {
+			out.Close()
+			return st, fmt.Errorf("extsort: bucket %d out of global order: %w", i, err)
+		}
+	}
+	if err := out.Close(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// SortSlice is an in-memory convenience over the same partition logic,
+// returning the sorted data and partition statistics; used by the
+// load-balancing example and tests.
+func SortSlice(xs []int64, opts Options) ([]int64, Stats, error) {
+	var st Stats
+	if opts.Buckets < 1 {
+		return nil, st, fmt.Errorf("extsort: need ≥1 bucket, got %d", opts.Buckets)
+	}
+	st.N = int64(len(xs))
+	if len(xs) == 0 {
+		return nil, st, nil
+	}
+	sum, err := core.BuildFromSlice(xs, opts.Config)
+	if err != nil {
+		return nil, st, err
+	}
+	k := opts.Buckets
+	for i := 1; i < k; i++ {
+		b, err := sum.Bounds(float64(i) / float64(k))
+		if err != nil {
+			return nil, st, err
+		}
+		st.Splitters = append(st.Splitters, b.Upper)
+	}
+	buckets := make([][]int64, k)
+	st.BucketSizes = make([]int64, k)
+	for _, v := range xs {
+		b := searchInt64s(st.Splitters, v)
+		buckets[b] = append(buckets[b], v)
+		st.BucketSizes[b]++
+	}
+	out := make([]int64, 0, len(xs))
+	for i, bkt := range buckets {
+		sort.Slice(bkt, func(a, b int) bool { return bkt[a] < bkt[b] })
+		out = append(out, bkt...)
+		if st.BucketSizes[i] > st.MaxBucket {
+			st.MaxBucket = st.BucketSizes[i]
+		}
+	}
+	return out, st, nil
+}
+
+// searchInt64s returns the index of the first element of a that is ≥ x.
+func searchInt64s(a []int64, x int64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= x })
+}

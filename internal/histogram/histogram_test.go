@@ -1,0 +1,146 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/metrics"
+)
+
+func buildSummary(t *testing.T, xs []int64) *core.Summary[int64] {
+	t.Helper()
+	s, err := core.BuildFromSlice(xs, core.Config{RunLen: 10_000, SampleSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := buildSummary(t, datagen.Generate(datagen.NewUniform(1, 100), 10_000))
+	if _, err := Build(s, 0); err == nil {
+		t.Fatal("0 buckets should fail")
+	}
+	empty, err := core.BuildFromSlice[int64](nil, core.Config{RunLen: 4, SampleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(empty, 4); err == nil {
+		t.Fatal("empty summary should fail")
+	}
+}
+
+func TestBucketsAreEquiDepth(t *testing.T) {
+	xs, err := datagen.PaperDataset("zipf", 100_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSummary(t, xs)
+	const B = 10
+	h, err := Build(s, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != B {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	o := metrics.NewOracle(xs)
+	// Each bucket's true population must be within depth ± slack (+dup mass:
+	// equal keys cannot be split across a boundary, so heavy duplicates can
+	// legitimately overfill one bucket; measure against the looser of the
+	// two).
+	prevLE := 0
+	for i, b := range h.Boundaries() {
+		le := o.RankLE(b)
+		pop := le - prevLE
+		prevLE = le
+		tol := float64(h.SlackRanks())*2 + float64(o.CountEq(b))
+		if math.Abs(float64(pop)-float64(h.N())/B) > float64(h.N())/B+tol {
+			t.Errorf("bucket %d population %d deviates badly from depth %g", i, pop, float64(h.N())/B)
+		}
+	}
+}
+
+func TestEstimateLEMonotone(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(5, 1_000_000), 50_000)
+	h, err := Build(buildSummary(t, xs), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := int64(0); x <= 1_000_000; x += 10_000 {
+		got := h.EstimateLE(x)
+		if got < prev {
+			t.Fatalf("EstimateLE not monotone at %d: %g < %g", x, got, prev)
+		}
+		prev = got
+	}
+	if h.EstimateLE(-5) != 0 {
+		t.Error("EstimateLE below min should be 0")
+	}
+	if got := h.EstimateLE(1 << 40); got != float64(h.N()) {
+		t.Errorf("EstimateLE above max = %g, want n", got)
+	}
+}
+
+func TestRangeSelectivityAccuracy(t *testing.T) {
+	// The headline application check: on uniform and skewed data, range
+	// selectivity error stays within the deterministic ceiling.
+	for _, dist := range []string{"uniform", "zipf"} {
+		xs, err := datagen.PaperDataset(dist, 100_000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Build(buildSummary(t, xs), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := metrics.NewOracle(xs)
+		ceiling := h.MaxRangeError()
+		ranges := [][2]float64{{0.1, 0.3}, {0.25, 0.75}, {0.0, 1.0}, {0.45, 0.55}, {0.9, 0.95}}
+		for _, r := range ranges {
+			a := o.Quantile(r[0] + 1e-9)
+			b := o.Quantile(r[1])
+			truth := float64(o.CountIn(a, b))
+			est := h.EstimateRange(a, b)
+			if err := math.Abs(est - truth); err > ceiling+float64(o.CountEq(a))+float64(o.CountEq(b)) {
+				t.Errorf("%s range [%g,%g]: estimate %g vs truth %g exceeds ceiling %g",
+					dist, r[0], r[1], est, truth, ceiling)
+			}
+		}
+		// Selectivity must be a fraction.
+		if s := h.Selectivity(o.Quantile(0.2), o.Quantile(0.4)); s < 0 || s > 1 {
+			t.Errorf("%s: selectivity %g out of [0,1]", dist, s)
+		}
+	}
+}
+
+func TestEstimateRangeEdgeCases(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(7, 1000), 10_000)
+	h, err := Build(buildSummary(t, xs), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EstimateRange(500, 400) != 0 {
+		t.Error("inverted range should estimate 0")
+	}
+	if got := h.EstimateRange(-100, 1<<40); math.Abs(got-float64(h.N())) > 1 {
+		t.Errorf("full range = %g, want ≈%d", got, h.N())
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(9, 1000), 5000)
+	h, err := Build(buildSummary(t, xs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 1 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	if got := h.EstimateLE(1 << 40); got != float64(h.N()) {
+		t.Errorf("EstimateLE(+inf) = %g", got)
+	}
+}

@@ -1,0 +1,141 @@
+package merge
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKWayBasic(t *testing.T) {
+	got := KWay([][]int64{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}})
+	want := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	assertEqual(t, got, want)
+}
+
+func TestKWayEmptyInputs(t *testing.T) {
+	if got := KWay[int64](nil); len(got) != 0 {
+		t.Errorf("KWay(nil) = %v, want empty", got)
+	}
+	if got := KWay([][]int64{{}, {}, {}}); len(got) != 0 {
+		t.Errorf("KWay(empties) = %v, want empty", got)
+	}
+}
+
+func TestKWaySingleList(t *testing.T) {
+	got := KWay([][]int64{{}, {3, 4, 5}, {}})
+	assertEqual(t, got, []int64{3, 4, 5})
+}
+
+func TestKWayUnevenLengths(t *testing.T) {
+	got := KWay([][]int64{{10}, {1, 2, 3, 4, 5}, {}, {0, 6}})
+	assertEqual(t, got, []int64{0, 1, 2, 3, 4, 5, 6, 10})
+}
+
+func TestKWayAllDuplicates(t *testing.T) {
+	got := KWay([][]int64{{5, 5}, {5}, {5, 5, 5}})
+	assertEqual(t, got, []int64{5, 5, 5, 5, 5, 5})
+}
+
+func TestKWayTwoLists(t *testing.T) {
+	a := []int64{1, 3, 5}
+	b := []int64{2, 4, 6}
+	assertEqual(t, KWay([][]int64{a, b}), Two(a, b))
+}
+
+func TestTwo(t *testing.T) {
+	assertEqual(t, Two([]int64{1, 2, 2}, []int64{2, 3}), []int64{1, 2, 2, 2, 3})
+	assertEqual(t, Two(nil, []int64{1}), []int64{1})
+	assertEqual(t, Two([]int64{1}, nil), []int64{1})
+	assertEqual(t, Two[int64](nil, nil), []int64{})
+}
+
+func TestKWayDoesNotModifyInputs(t *testing.T) {
+	a := []int64{1, 3}
+	b := []int64{2, 4}
+	KWay([][]int64{a, b})
+	assertEqual(t, a, []int64{1, 3})
+	assertEqual(t, b, []int64{2, 4})
+}
+
+func TestKWayValidated(t *testing.T) {
+	if _, err := KWayValidated([][]int64{{1, 2}, {3, 1}}); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("error = %v, want ErrUnsorted", err)
+	}
+	got, err := KWayValidated([][]int64{{1, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, []int64{0, 1, 2, 3})
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int64{}) || !IsSorted([]int64{1}) || !IsSorted([]int64{1, 1, 2}) {
+		t.Error("IsSorted false negatives")
+	}
+	if IsSorted([]int64{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func TestKWayManyLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 257 // not a power of two: exercises odd tree shapes
+	lists := make([][]int64, k)
+	var all []int64
+	for i := range lists {
+		n := rng.Intn(20)
+		l := make([]int64, n)
+		for j := range l {
+			l[j] = rng.Int63n(1000)
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		lists[i] = l
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	assertEqual(t, KWay(lists), all)
+}
+
+// Property: KWay(sorted chunks of xs) == sort(xs).
+func TestQuickKWayEqualsSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(raw []int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%8
+		lists := make([][]int64, k)
+		for i, x := range raw {
+			lists[i%k] = append(lists[i%k], x)
+		}
+		for i := range lists {
+			sort.Slice(lists[i], func(a, b int) bool { return lists[i][a] < lists[i][b] })
+		}
+		got := KWay(lists)
+		want := append([]int64(nil), raw...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertEqual[T comparable](t *testing.T, got, want []T) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %v, want %v", i, got, want)
+		}
+	}
+}

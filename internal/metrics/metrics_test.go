@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+)
+
+func TestOracleQuantile(t *testing.T) {
+	o := NewOracle([]int64{5, 1, 3, 2, 4})
+	cases := []struct {
+		phi  float64
+		want int64
+	}{
+		{0.2, 1}, {0.4, 2}, {0.5, 3}, {0.6, 3}, {0.8, 4}, {1.0, 5}, {0.01, 1},
+	}
+	for _, c := range cases {
+		if got := o.Quantile(c.phi); got != c.want {
+			t.Errorf("Quantile(%g) = %d, want %d", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestOracleRanks(t *testing.T) {
+	o := NewOracle([]int64{1, 2, 2, 2, 5})
+	if o.RankLE(2) != 4 || o.RankLT(2) != 1 {
+		t.Errorf("RankLE/LT(2) = %d/%d, want 4/1", o.RankLE(2), o.RankLT(2))
+	}
+	if o.CountEq(2) != 3 {
+		t.Errorf("CountEq(2) = %d, want 3", o.CountEq(2))
+	}
+	if o.CountIn(2, 5) != 4 {
+		t.Errorf("CountIn(2,5) = %d, want 4", o.CountIn(2, 5))
+	}
+	if o.CountIn(5, 2) != 0 {
+		t.Errorf("CountIn inverted should be 0")
+	}
+	if o.CountIn(0, 0) != 0 {
+		t.Errorf("CountIn(0,0) = %d, want 0", o.CountIn(0, 0))
+	}
+}
+
+func TestOracleDoesNotMutateInput(t *testing.T) {
+	xs := []int64{3, 1, 2}
+	NewOracle(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("NewOracle mutated its input")
+	}
+}
+
+func TestRERAPerfectEstimate(t *testing.T) {
+	// If the enclosure is exactly the true quantile value, RER_A = 0.
+	o := NewOracle([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	encl := []Enclosure[int64]{{Phi: 0.5, Lower: 5, Upper: 5}}
+	got, err := RERA(o, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("RER_A of exact enclosure = %g, want 0", got[0])
+	}
+}
+
+func TestRERAWideEnclosure(t *testing.T) {
+	// Enclosure covering 4 extra elements of 10 → 40%.
+	o := NewOracle([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	encl := []Enclosure[int64]{{Phi: 0.5, Lower: 3, Upper: 7}} // holds 3..7 = 5 elems, minus 1 dup of 5
+	got, err := RERA(o, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 40 {
+		t.Errorf("RER_A = %g, want 40", got[0])
+	}
+}
+
+func TestRERAInvertedEnclosure(t *testing.T) {
+	o := NewOracle([]int64{1, 2, 3})
+	if _, err := RERA(o, []Enclosure[int64]{{Phi: 0.5, Lower: 3, Upper: 1}}); err == nil {
+		t.Fatal("inverted enclosure should error")
+	}
+}
+
+func TestRERLPerfect(t *testing.T) {
+	xs := make([]int64, 100)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	o := NewOracle(xs)
+	// Perfect dectile estimates → RER_L = 0.
+	var encl []Enclosure[int64]
+	for i := 1; i < 10; i++ {
+		v := o.Quantile(float64(i) / 10)
+		encl = append(encl, Enclosure[int64]{Phi: float64(i) / 10, Lower: v, Upper: v})
+	}
+	got, err := RERL(o, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("RER_L of perfect estimates = %g, want 0", got)
+	}
+	gotN, err := RERN(o, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != 0 {
+		t.Errorf("RER_N of perfect estimates = %g, want 0", gotN)
+	}
+}
+
+func TestRERLNeedsTwo(t *testing.T) {
+	o := NewOracle([]int64{1, 2, 3})
+	if _, err := RERL(o, []Enclosure[int64]{{Phi: 0.5, Lower: 2, Upper: 2}}); err == nil {
+		t.Fatal("RER_L with one quantile should error")
+	}
+	if _, err := RERN(o, nil); err == nil {
+		t.Fatal("RER_N with no quantiles should error")
+	}
+}
+
+func TestRERNShiftedBound(t *testing.T) {
+	xs := make([]int64, 100)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	o := NewOracle(xs)
+	// Dectiles of 0..99: quantile(0.1)=9 (rank 10). Shift the median's lower
+	// bound down by 5 elements: DL=5, n/q=10 → RER_N = 50%.
+	var encl []Enclosure[int64]
+	for i := 1; i < 10; i++ {
+		v := o.Quantile(float64(i) / 10)
+		e := Enclosure[int64]{Phi: float64(i) / 10, Lower: v, Upper: v}
+		if i == 5 {
+			e.Lower = v - 6 // elements strictly between v-6 and v: 5 of them
+		}
+		encl = append(encl, e)
+	}
+	got, err := RERN(o, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("RER_N = %g, want 50", got)
+	}
+}
+
+// Integration: OPAQ's measured error rates must respect the paper's
+// analytic ceilings — RER_A ≤ 2/s·100, and the bound-to-truth distance
+// n/s ⇒ RER_N ≤ (q/s)·100 (+ slack for ragged runs, none here).
+func TestOPAQErrorCeilings(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf"} {
+		xs, err := datagen.PaperDataset(dist, 200_000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const s = 500
+		sum, err := core.BuildFromSlice(xs, core.Config{RunLen: 20_000, SampleSize: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds, err := sum.Quantiles(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encl := make([]Enclosure[int64], len(bounds))
+		for i, b := range bounds {
+			encl[i] = Enclosure[int64]{Phi: b.Phi, Lower: b.Lower, Upper: b.Upper}
+		}
+		o := NewOracle(xs)
+		rera, err := RERA(o, encl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range rera {
+			if v > 2.0/s*100+0.05 {
+				t.Errorf("%s dectile %d: RER_A = %g exceeds ceiling %g", dist, (i+1)*10, v, 2.0/s*100)
+			}
+		}
+		rern, err := RERN(o, encl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RER_N ceiling: bound distance n/s normalized by n/q → q/s·100 = 2%.
+		if rern > 10.0/s*100*1.1 {
+			t.Errorf("%s: RER_N = %g exceeds ceiling %g", dist, rern, 10.0/s*100)
+		}
+		rerl, err := RERL(o, encl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Successive bounds each off by ≤ n/s ⇒ spacing off by ≤ 2n/s of
+		// n/q ⇒ 2q/s·100 = 4%.
+		if rerl > 2*10.0/s*100*1.1 {
+			t.Errorf("%s: RER_L = %g exceeds ceiling %g", dist, rerl, 2*10.0/s*100)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package multipass implements the multi-pass exact quantile computation
+// the paper cites as prior art ([GS90]: "a technique that needs multiple
+// passes over the data and produces accurate quantiles ... uses a linear
+// median-finding algorithm recursively to partition the data"; [MP80]
+// analyzes the pass/memory trade-off for selection with limited storage).
+//
+// FindExact narrows a candidate value interval pass by pass. Each pass
+// scans the dataset once and counts — exactly — how the previous pass's
+// pivot splits the current interval, so the interval update can never lose
+// the target rank; a reservoir drawn from the interval supplies the next
+// pivot (with value-domain bisection as a fallback, bounding the pass
+// count at 64 even against adversarial data). When the interval's
+// population fits the memory budget, a final selection yields the exact
+// value. Against OPAQ this is the accuracy-versus-passes trade-off: exact
+// answers, but Θ(log(n/M)) passes instead of one.
+package multipass
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"opaq/internal/runio"
+	"opaq/internal/selection"
+)
+
+// ErrBudget reports an unusably small memory budget.
+var ErrBudget = errors.New("multipass: memory budget too small")
+
+// Result carries the exact quantile plus the cost accounting that the
+// comparison benchmarks report.
+type Result struct {
+	// Value is the exact φ-quantile.
+	Value int64
+	// Passes is the number of full scans performed.
+	Passes int
+	// Rank is the 1-based rank that was selected.
+	Rank int64
+}
+
+// FindExact computes the exact φ-quantile of ds using at most memBudget
+// resident elements, scanning the dataset as many times as the narrowing
+// requires (≈ log(n/memBudget) passes for well-behaved data, ≤ ~64 always).
+func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) (Result, error) {
+	var res Result
+	n := ds.Count()
+	if n == 0 {
+		return res, errors.New("multipass: empty dataset")
+	}
+	if phi <= 0 || phi > 1 {
+		return res, fmt.Errorf("multipass: phi=%g out of (0,1]", phi)
+	}
+	if memBudget < 16 {
+		return res, fmt.Errorf("%w: %d elements", ErrBudget, memBudget)
+	}
+	rank := int64(phi * float64(n))
+	if float64(rank) < phi*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	res.Rank = rank
+
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64) // candidate interval, inclusive
+	var pivot int64
+	havePivot := false
+	const pivotSample = 1024
+
+	for {
+		res.Passes++
+		if res.Passes > 200 {
+			return res, errors.New("multipass: failed to converge")
+		}
+		rr, err := ds.Runs(64 * 1024)
+		if err != nil {
+			return res, err
+		}
+		var below, inside, insideLE, seen int64
+		window := make([]int64, 0, memBudget)
+		overflow := false
+		var sample []int64
+		for {
+			run, err := rr.NextRun()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return res, err
+			}
+			for _, v := range run {
+				if v < lo {
+					below++
+					continue
+				}
+				if v > hi {
+					continue
+				}
+				inside++
+				if havePivot && v <= pivot {
+					insideLE++
+				}
+				if !overflow {
+					if len(window) < memBudget {
+						window = append(window, v)
+						continue
+					}
+					overflow = true
+					// Seed the reservoir with the abandoned window so early
+					// elements stay candidates.
+					sample = append(sample, window...)
+					window = window[:0]
+					seen = int64(len(sample))
+				}
+				seen++
+				if len(sample) < pivotSample {
+					sample = append(sample, v)
+				} else if j := rng.Int63n(seen); j < pivotSample {
+					sample[j] = v
+				}
+			}
+		}
+		target := rank - below
+		if target < 1 || target > inside {
+			return res, fmt.Errorf("multipass: interval lost the target rank (target=%d, inside=%d)", target, inside)
+		}
+		if !overflow {
+			v, err := selection.Select(window, int(target-1), rng)
+			if err != nil {
+				return res, err
+			}
+			res.Value = v
+			return res, nil
+		}
+		if lo == hi {
+			// Single heavily-duplicated value fills the whole interval.
+			res.Value = lo
+			return res, nil
+		}
+		// Exact narrowing using the counts for the previous pivot.
+		if havePivot {
+			if target <= insideLE {
+				hi = pivot // everything ≤ pivot stays; count is exact
+			} else {
+				lo = pivot + 1 // excludes every duplicate of pivot; exact
+			}
+			if lo == hi {
+				res.Value = lo
+				return res, nil
+			}
+		}
+		// Choose the next pivot: prefer a reservoir element inside the new
+		// interval near the target's relative position; fall back to
+		// value-domain bisection (guaranteed progress in ≤ 64 steps).
+		cands := sample[:0:0]
+		for _, v := range sample {
+			if v >= lo && v <= hi {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) > 0 {
+			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			pos := int(float64(target) / float64(inside) * float64(len(cands)))
+			if pos >= len(cands) {
+				pos = len(cands) - 1
+			}
+			pivot = cands[pos]
+			// A pivot equal to hi cannot shrink the upper half; step down
+			// to the largest candidate strictly below hi.
+			if pivot == hi {
+				if i := sort.Search(len(cands), func(i int) bool { return cands[i] >= hi }); i > 0 {
+					pivot = cands[i-1]
+				}
+			}
+		}
+		if len(cands) == 0 || pivot == hi {
+			pivot = midpoint(lo, hi)
+		}
+		havePivot = true
+	}
+}
+
+// midpoint returns lo + (hi−lo)/2 without overflow, strictly below hi for
+// lo < hi.
+func midpoint(lo, hi int64) int64 {
+	return lo + int64(uint64(hi-lo)/2)
+}

@@ -1,0 +1,184 @@
+package multipass
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"opaq/internal/datagen"
+	"opaq/internal/runio"
+)
+
+func exactRank(sorted []int64, phi float64) int64 {
+	n := len(sorted)
+	rank := int(phi * float64(n))
+	if float64(rank) < phi*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+func TestFindExactValidation(t *testing.T) {
+	ds := runio.NewMemoryDataset([]int64{1, 2, 3}, 8)
+	if _, err := FindExact(ds, 0, 100, 1); err == nil {
+		t.Error("phi=0 should fail")
+	}
+	if _, err := FindExact(ds, 0.5, 4, 1); !errors.Is(err, ErrBudget) {
+		t.Error("tiny budget should fail with ErrBudget")
+	}
+	empty := runio.NewMemoryDataset([]int64{}, 8)
+	if _, err := FindExact(empty, 0.5, 100, 1); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestFindExactFitsInOnePass(t *testing.T) {
+	xs := []int64{9, 1, 5, 3, 7}
+	ds := runio.NewMemoryDataset(xs, 8)
+	res, err := FindExact(ds, 0.5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 || res.Passes != 1 {
+		t.Fatalf("median = %d in %d passes, want 5 in 1", res.Value, res.Passes)
+	}
+}
+
+func TestFindExactUniformLargeBudgetSmall(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(3, 1<<40), 200_000)
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ds := runio.NewMemoryDataset(xs, 8)
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1.0} {
+		res, err := FindExact(ds, phi, 2000, 7)
+		if err != nil {
+			t.Fatalf("phi=%g: %v", phi, err)
+		}
+		if want := exactRank(sorted, phi); res.Value != want {
+			t.Errorf("phi=%g: got %d, want %d", phi, res.Value, want)
+		}
+		if res.Passes > 20 {
+			t.Errorf("phi=%g: %d passes, expected ≈log(n/M)", phi, res.Passes)
+		}
+	}
+}
+
+func TestFindExactHeavyDuplicates(t *testing.T) {
+	// Only 3 distinct values, 100k elements, budget 1000: the lo==hi
+	// degenerate path must fire instead of looping.
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]int64, 100_000)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(3)) * 1000
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ds := runio.NewMemoryDataset(xs, 8)
+	for _, phi := range []float64{0.2, 0.5, 0.8} {
+		res, err := FindExact(ds, phi, 1000, 3)
+		if err != nil {
+			t.Fatalf("phi=%g: %v", phi, err)
+		}
+		if want := exactRank(sorted, phi); res.Value != want {
+			t.Errorf("phi=%g: got %d, want %d", phi, res.Value, want)
+		}
+	}
+}
+
+func TestFindExactConstantData(t *testing.T) {
+	xs := make([]int64, 50_000)
+	for i := range xs {
+		xs[i] = 42
+	}
+	ds := runio.NewMemoryDataset(xs, 8)
+	res, err := FindExact(ds, 0.5, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42 {
+		t.Fatalf("got %d", res.Value)
+	}
+}
+
+func TestFindExactAdversarialSorted(t *testing.T) {
+	xs := datagen.Generate(datagen.NewSorted(3), 100_000)
+	sorted := append([]int64(nil), xs...)
+	ds := runio.NewMemoryDataset(xs, 8)
+	res, err := FindExact(ds, 0.25, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exactRank(sorted, 0.25); res.Value != want {
+		t.Fatalf("got %d, want %d", res.Value, want)
+	}
+}
+
+func TestFindExactExtremeValues(t *testing.T) {
+	xs := []int64{-1 << 62, 1<<62 - 1, 0, -5, 5}
+	big := make([]int64, 0, 50_000)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50_000; i++ {
+		big = append(big, xs[rng.Intn(len(xs))])
+	}
+	sorted := append([]int64(nil), big...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ds := runio.NewMemoryDataset(big, 8)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		res, err := FindExact(ds, phi, 100, 17)
+		if err != nil {
+			t.Fatalf("phi=%g: %v", phi, err)
+		}
+		if want := exactRank(sorted, phi); res.Value != want {
+			t.Errorf("phi=%g: got %d, want %d", phi, res.Value, want)
+		}
+	}
+}
+
+// Property: FindExact equals sort-based truth for arbitrary data, budgets
+// and quantiles.
+func TestQuickFindExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func(seed int64, phiRaw uint16, budgetRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1000 + r.Intn(20_000)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = r.Int63n(2000) - 1000 // negative values + duplicates
+		}
+		phi := (float64(phiRaw%999) + 1) / 1000
+		budget := 64 + int(budgetRaw)*8
+		sorted := append([]int64(nil), xs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ds := runio.NewMemoryDataset(xs, 8)
+		res, err := FindExact(ds, phi, budget, seed)
+		if err != nil {
+			return false
+		}
+		return res.Value == exactRank(sorted, phi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	cases := []struct{ lo, hi, want int64 }{
+		{0, 10, 5},
+		{-10, 10, 0},
+		{-1 << 63, 1<<63 - 1, -1},
+		{5, 6, 5},
+	}
+	for _, c := range cases {
+		if got := midpoint(c.lo, c.hi); got != c.want {
+			t.Errorf("midpoint(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package runio provides the disk-resident dataset substrate that OPAQ runs
+// over: a binary run-file format with a self-describing header, buffered
+// sequential writers and readers that deliver the data as fixed-size runs,
+// an in-memory dataset behind the same interfaces, and I/O accounting with
+// a pluggable disk cost model.
+//
+// The paper assumes the input "is disk-resident" and is consumed as r runs
+// of m elements each (Section 2); everything else about the medium is
+// irrelevant to the algorithm. This package therefore exposes exactly one
+// abstraction — RunReader, a sequential run iterator — and records the
+// operation counts needed to model I/O time (the paper's Tables 11–12
+// report I/O as ~50% of total execution time; see DiskModel).
+package runio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec describes how a fixed-width element type is serialized into run
+// files. Implementations must be stateless and safe for concurrent use.
+type Codec[T any] interface {
+	// Size returns the encoded width of one element, in bytes.
+	Size() int
+	// Encode writes v into buf, which has at least Size() bytes.
+	Encode(buf []byte, v T)
+	// Decode reads one element from buf, which has at least Size() bytes.
+	Decode(buf []byte) T
+	// Kind returns the format tag stored in the file header, so a reader
+	// can reject files written with a different element type.
+	Kind() uint16
+}
+
+// Codec kinds recorded in file headers.
+const (
+	KindInt64   uint16 = 1
+	KindFloat64 uint16 = 2
+	KindUint64  uint16 = 3
+)
+
+// Int64Codec encodes int64 keys little-endian; the integer-key workloads of
+// the paper's evaluation use this codec.
+type Int64Codec struct{}
+
+// Size implements Codec.
+func (Int64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (Int64Codec) Encode(buf []byte, v int64) { binary.LittleEndian.PutUint64(buf, uint64(v)) }
+
+// Decode implements Codec.
+func (Int64Codec) Decode(buf []byte) int64 { return int64(binary.LittleEndian.Uint64(buf)) }
+
+// Kind implements Codec.
+func (Int64Codec) Kind() uint16 { return KindInt64 }
+
+// Float64Codec encodes float64 keys via their IEEE-754 bits.
+type Float64Codec struct{}
+
+// Size implements Codec.
+func (Float64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (Float64Codec) Encode(buf []byte, v float64) {
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+}
+
+// Decode implements Codec.
+func (Float64Codec) Decode(buf []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf))
+}
+
+// Kind implements Codec.
+func (Float64Codec) Kind() uint16 { return KindFloat64 }
+
+// Uint64Codec encodes uint64 keys little-endian.
+type Uint64Codec struct{}
+
+// Size implements Codec.
+func (Uint64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (Uint64Codec) Encode(buf []byte, v uint64) { binary.LittleEndian.PutUint64(buf, v) }
+
+// Decode implements Codec.
+func (Uint64Codec) Decode(buf []byte) uint64 { return binary.LittleEndian.Uint64(buf) }
+
+// Kind implements Codec.
+func (Uint64Codec) Kind() uint16 { return KindUint64 }
+
+// kindName maps codec kinds to human-readable names for error messages.
+func kindName(k uint16) string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindUint64:
+		return "uint64"
+	default:
+		return fmt.Sprintf("unknown(%d)", k)
+	}
+}

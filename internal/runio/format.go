@@ -1,0 +1,76 @@
+package runio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Run-file format (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "OPAQRUN\x01"
+//	8       2     codec kind (Codec.Kind)
+//	10      2     element size in bytes
+//	12      4     reserved (zero)
+//	16      8     element count
+//	24      8     CRC32-C of the payload (low 4 bytes; high 4 reserved)
+//	32      ...   payload: count elements, each element-size bytes
+//
+// The header is patched in place when the writer is closed, so run files
+// can be streamed out without knowing the final count up front.
+const (
+	headerSize = 32
+	magic      = "OPAQRUN\x01"
+)
+
+// Sentinel errors for file-format failures. All format errors wrap one of
+// these, so callers can match with errors.Is.
+var (
+	ErrBadMagic      = errors.New("runio: bad magic (not an OPAQ run file)")
+	ErrCodecMismatch = errors.New("runio: file codec does not match reader codec")
+	ErrCorrupt       = errors.New("runio: file corrupt")
+	ErrClosed        = errors.New("runio: use after Close")
+)
+
+// castagnoli is the CRC32-C table used for payload checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// header is the decoded run-file header.
+type header struct {
+	kind     uint16
+	elemSize uint16
+	count    uint64
+	crc      uint32
+}
+
+// encodeHeader serializes h into a fresh headerSize-byte slice.
+func encodeHeader(h header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint16(buf[8:], h.kind)
+	binary.LittleEndian.PutUint16(buf[10:], h.elemSize)
+	binary.LittleEndian.PutUint64(buf[16:], h.count)
+	binary.LittleEndian.PutUint32(buf[24:], h.crc)
+	return buf
+}
+
+// decodeHeader parses and validates a headerSize-byte header.
+func decodeHeader(buf []byte) (header, error) {
+	var h header
+	if len(buf) < headerSize {
+		return h, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if string(buf[:8]) != magic {
+		return h, ErrBadMagic
+	}
+	h.kind = binary.LittleEndian.Uint16(buf[8:])
+	h.elemSize = binary.LittleEndian.Uint16(buf[10:])
+	h.count = binary.LittleEndian.Uint64(buf[16:])
+	h.crc = binary.LittleEndian.Uint32(buf[24:])
+	if h.elemSize == 0 {
+		return h, fmt.Errorf("%w: zero element size", ErrCorrupt)
+	}
+	return h, nil
+}

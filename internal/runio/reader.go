@@ -1,0 +1,243 @@
+package runio
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// Stats accumulates I/O accounting for a reader or writer. The parallel
+// experiments convert Stats into simulated time through a DiskModel.
+type Stats struct {
+	ReadOps      int64
+	BytesRead    int64
+	WriteOps     int64
+	BytesWritten int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadOps += other.ReadOps
+	s.BytesRead += other.BytesRead
+	s.WriteOps += other.WriteOps
+	s.BytesWritten += other.BytesWritten
+}
+
+// DiskModel converts I/O accounting into simulated time, standing in for
+// the per-node local disks of the paper's IBM SP-2. The defaults are
+// calibrated (see internal/parallel) so that I/O accounts for roughly half
+// of total simulated execution time, matching Table 11 of the paper.
+type DiskModel struct {
+	// SeekTime is charged once per I/O operation.
+	SeekTime time.Duration
+	// BytesPerSecond is the sequential transfer rate.
+	BytesPerSecond float64
+}
+
+// DefaultDiskModel resembles a mid-1990s SCSI disk doing large sequential
+// reads: 1 ms effective positioning cost per run-sized request, 8 MB/s
+// sustained transfer — the class of hardware attached to SP-2 nodes.
+func DefaultDiskModel() DiskModel {
+	return DiskModel{SeekTime: 1 * time.Millisecond, BytesPerSecond: 8 << 20}
+}
+
+// Time returns the simulated duration of the accounted I/O.
+func (d DiskModel) Time(s Stats) time.Duration {
+	ops := s.ReadOps + s.WriteOps
+	bytes := s.BytesRead + s.BytesWritten
+	transfer := time.Duration(float64(bytes) / d.BytesPerSecond * float64(time.Second))
+	return time.Duration(ops)*d.SeekTime + transfer
+}
+
+// RunReader delivers a dataset as consecutive runs. NextRun returns the
+// next run (at most the configured run length; only the final run may be
+// shorter) and io.EOF after the last run. Implementations may reuse the
+// returned slice's backing array between calls only if documented; both
+// implementations here hand out freshly owned slices because OPAQ's sample
+// phase reorders runs in place.
+type RunReader[T any] interface {
+	// NextRun returns the next run of elements.
+	NextRun() ([]T, error)
+	// Count returns the total number of elements in the dataset.
+	Count() int64
+	// RunLen returns the configured run length m.
+	RunLen() int
+}
+
+// Dataset abstracts a source of elements that can be scanned as runs any
+// number of times (each scan is one "pass" in the paper's sense).
+type Dataset[T any] interface {
+	// Count returns the total number of elements.
+	Count() int64
+	// Runs starts a new sequential scan with runs of m elements.
+	Runs(m int) (RunReader[T], error)
+	// Stats returns cumulative I/O accounting across all scans.
+	Stats() Stats
+}
+
+// FileDataset is a Dataset backed by a run file on disk.
+type FileDataset[T any] struct {
+	path  string
+	codec Codec[T]
+	hdr   header
+	stats Stats
+}
+
+// OpenFile validates the header of the run file at path and returns a
+// Dataset over it.
+func OpenFile[T any](path string, codec Codec[T]) (*FileDataset[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runio: open %s: %w", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("runio: read header of %s: %w", path, err)
+	}
+	hdr, err := decodeHeader(buf)
+	if err != nil {
+		return nil, fmt.Errorf("runio: %s: %w", path, err)
+	}
+	if hdr.kind != codec.Kind() {
+		return nil, fmt.Errorf("%w: file %s holds %s, reader expects %s",
+			ErrCodecMismatch, path, kindName(hdr.kind), kindName(codec.Kind()))
+	}
+	if int(hdr.elemSize) != codec.Size() {
+		return nil, fmt.Errorf("%w: element size %d, codec size %d", ErrCorrupt, hdr.elemSize, codec.Size())
+	}
+	return &FileDataset[T]{path: path, codec: codec, hdr: hdr}, nil
+}
+
+// Count implements Dataset.
+func (d *FileDataset[T]) Count() int64 { return int64(d.hdr.count) }
+
+// Stats implements Dataset.
+func (d *FileDataset[T]) Stats() Stats { return d.stats }
+
+// Path returns the underlying file path.
+func (d *FileDataset[T]) Path() string { return d.path }
+
+// Runs implements Dataset: it opens a fresh sequential scan.
+func (d *FileDataset[T]) Runs(m int) (RunReader[T], error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("runio: run length must be positive, got %d", m)
+	}
+	f, err := os.Open(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("runio: open %s: %w", d.path, err)
+	}
+	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runio: seek past header: %w", err)
+	}
+	return &fileRunReader[T]{
+		f:     f,
+		br:    bufio.NewReaderSize(f, 1<<20),
+		d:     d,
+		m:     m,
+		left:  int64(d.hdr.count),
+		ebuf:  make([]byte, m*d.codec.Size()),
+		codec: d.codec,
+	}, nil
+}
+
+// Verify re-reads the whole file and checks the payload CRC, returning
+// ErrCorrupt (wrapped) on mismatch.
+func (d *FileDataset[T]) Verify() error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return fmt.Errorf("runio: open %s: %w", d.path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("runio: seek: %w", err)
+	}
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("runio: checksum scan: %w", err)
+	}
+	want := int64(d.hdr.count) * int64(d.codec.Size())
+	if n != want {
+		return fmt.Errorf("%w: payload is %d bytes, header promises %d", ErrCorrupt, n, want)
+	}
+	if h.Sum32() != d.hdr.crc {
+		return fmt.Errorf("%w: payload CRC %08x, header says %08x", ErrCorrupt, h.Sum32(), d.hdr.crc)
+	}
+	return nil
+}
+
+type fileRunReader[T any] struct {
+	f     *os.File
+	br    *bufio.Reader
+	d     *FileDataset[T]
+	m     int
+	left  int64
+	ebuf  []byte
+	codec Codec[T]
+	done  bool
+}
+
+// NextRun implements RunReader.
+func (r *fileRunReader[T]) NextRun() ([]T, error) {
+	if r.done || r.left == 0 {
+		if !r.done {
+			r.done = true
+			r.f.Close()
+		}
+		return nil, io.EOF
+	}
+	n := r.m
+	if int64(n) > r.left {
+		n = int(r.left)
+	}
+	want := n * r.codec.Size()
+	if _, err := io.ReadFull(r.br, r.ebuf[:want]); err != nil {
+		r.done = true
+		r.f.Close()
+		return nil, fmt.Errorf("%w: truncated run (want %d bytes): %v", ErrCorrupt, want, err)
+	}
+	run := make([]T, n)
+	sz := r.codec.Size()
+	for i := 0; i < n; i++ {
+		run[i] = r.codec.Decode(r.ebuf[i*sz:])
+	}
+	r.left -= int64(n)
+	r.d.stats.ReadOps++
+	r.d.stats.BytesRead += int64(want)
+	if r.left == 0 {
+		r.done = true
+		r.f.Close()
+	}
+	return run, nil
+}
+
+// Count implements RunReader.
+func (r *fileRunReader[T]) Count() int64 { return int64(r.d.hdr.count) }
+
+// RunLen implements RunReader.
+func (r *fileRunReader[T]) RunLen() int { return r.m }
+
+// ReadAll loads an entire dataset into memory; intended for oracles and
+// tests, not for the one-pass algorithm itself.
+func ReadAll[T any](d Dataset[T]) ([]T, error) {
+	rr, err := d.Runs(1 << 16)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, d.Count())
+	for {
+		run, err := rr.NextRun()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, run...)
+	}
+}

@@ -1,0 +1,313 @@
+package simnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func model() CostModel {
+	return CostModel{Alpha: 1 * time.Nanosecond, Tau: 100 * time.Nanosecond, Mu: 2 * time.Nanosecond}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(0, model()); err == nil {
+		t.Fatal("p=0 should fail")
+	}
+	m, err := NewMachine(4, model())
+	if err != nil || m.P() != 4 {
+		t.Fatalf("NewMachine = %v, %v", m, err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m, _ := NewMachine(1, model())
+	err := m.Run(func(p *Proc) error {
+		p.Compute(1000)
+		p.Compute(-5) // no-op
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxClock(); got != 1000*time.Nanosecond {
+		t.Fatalf("clock = %v, want 1µs", got)
+	}
+}
+
+func TestSendRecvCostAndData(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(1, 10, []int64{1, 2, 3})
+		}
+		v, err := p.Recv(0)
+		if err != nil {
+			return err
+		}
+		xs := v.([]int64)
+		if len(xs) != 3 || xs[2] != 3 {
+			t.Errorf("payload = %v", xs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: τ + 10·µ = 100 + 20 = 120ns. Receiver idle until arrival.
+	clocks := m.Clocks()
+	if clocks[0] != 120*time.Nanosecond {
+		t.Errorf("sender clock = %v, want 120ns", clocks[0])
+	}
+	if clocks[1] != 120*time.Nanosecond {
+		t.Errorf("receiver clock = %v, want 120ns (arrival)", clocks[1])
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(1, 1, "x")
+		}
+		p.Compute(10_000) // receiver is already past the arrival time
+		if _, err := p.Recv(0); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Clocks()[1]; got != 10_000*time.Nanosecond {
+		t.Errorf("receiver clock = %v, want 10µs", got)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			if err := p.Send(0, 1, "self"); err == nil {
+				t.Error("self-send should fail")
+			}
+			if err := p.Send(7, 1, "oob"); err == nil {
+				t.Error("out-of-range send should fail")
+			}
+			if _, err := p.Recv(0); err == nil {
+				t.Error("self-recv should fail")
+			}
+			if _, err := p.Recv(-1); err == nil {
+				t.Error("negative recv should fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeSymmetric(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		got, err := p.Exchange(1-p.ID(), 4, p.ID()*100)
+		if err != nil {
+			return err
+		}
+		if got.(int) != (1-p.ID())*100 {
+			t.Errorf("rank %d received %v", p.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierMaxCombines(t *testing.T) {
+	m, _ := NewMachine(4, model())
+	err := m.Run(func(p *Proc) error {
+		p.Compute(int64(1000 * (p.ID() + 1))) // ranks at 1,2,3,4 µs
+		return p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clocks = max (4µs) + τ·log₂4 = 4000 + 200 ns.
+	want := 4000*time.Nanosecond + 2*100*time.Nanosecond
+	for i, c := range m.Clocks() {
+		if c != want {
+			t.Errorf("rank %d clock = %v, want %v", i, c, want)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m, _ := NewMachine(3, model())
+	err := m.Run(func(p *Proc) error {
+		for i := 0; i < 5; i++ {
+			if err := p.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		m, _ := NewMachine(p, model())
+		var sum atomic.Int64
+		err := m.Run(func(pr *Proc) error {
+			all, err := pr.AllGather(1, pr.ID()*10)
+			if err != nil {
+				return err
+			}
+			s := 0
+			for _, v := range all {
+				s += v.(int)
+			}
+			sum.Add(int64(s))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(p * (p - 1) / 2 * 10 * p) // each rank sums 10·Σranks
+		if sum.Load() != want {
+			t.Errorf("p=%d: gathered sum = %d, want %d", p, sum.Load(), want)
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			return errTest
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run must propagate processor errors")
+	}
+}
+
+func TestRunRecoverPanicNoDeadlock(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) error {
+			if p.ID() == 0 {
+				panic("boom")
+			}
+			return p.Barrier() // would deadlock without barrier abort
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking run must return an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked after panic")
+	}
+}
+
+func TestSingleProcBarrierAndGather(t *testing.T) {
+	m, _ := NewMachine(1, model())
+	err := m.Run(func(p *Proc) error {
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		all, err := p.AllGather(1, 42)
+		if err != nil {
+			return err
+		}
+		if len(all) != 1 || all[0].(int) != 42 {
+			t.Errorf("AllGather p=1 = %v", all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxClock() != 0 {
+		t.Errorf("p=1 barrier should be free, clock = %v", m.MaxClock())
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestMessagesAreFIFOPerPair(t *testing.T) {
+	m, _ := NewMachine(2, model())
+	err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				if err := p.Send(1, 1, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 100; i++ {
+			v, err := p.Recv(0)
+			if err != nil {
+				return err
+			}
+			if v.(int) != i {
+				t.Errorf("message %d arrived as %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotoneUnderRandomTraffic(t *testing.T) {
+	// Random send/recv patterns must never move any clock backwards.
+	m, _ := NewMachine(4, model())
+	err := m.Run(func(p *Proc) error {
+		last := p.Clock()
+		check := func() error {
+			if p.Clock() < last {
+				t.Errorf("rank %d clock went backwards", p.ID())
+			}
+			last = p.Clock()
+			return nil
+		}
+		// Deterministic schedule: ring exchanges with varying payloads.
+		for round := 0; round < 20; round++ {
+			p.Compute(int64(100 * (p.ID() + 1)))
+			check()
+			next := (p.ID() + 1) % p.P()
+			prev := (p.ID() + p.P() - 1) % p.P()
+			if err := p.Send(next, int64(round+1), round); err != nil {
+				return err
+			}
+			check()
+			if _, err := p.Recv(prev); err != nil {
+				return err
+			}
+			check()
+			if err := p.Barrier(); err != nil {
+				return err
+			}
+			check()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

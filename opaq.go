@@ -1,0 +1,209 @@
+// Package opaq is a Go implementation of OPAQ — the one-pass deterministic
+// algorithm of Alsabti, Ranka and Singh for accurately estimating quantiles
+// of disk-resident data (VLDB 1997) — together with the substrates and
+// applications from the paper: a disk run-file format, workload generators,
+// competing estimators, a simulated parallel formulation, equi-depth
+// histograms and external sorting.
+//
+// # The algorithm in brief
+//
+// OPAQ reads the data once, as r runs of m elements. From each run it
+// extracts s regular samples (the elements of exact local ranks m/s, 2m/s,
+// …, m) and merges all sample lists into one sorted list. For any quantile
+// fraction φ it then returns two sample values e_l ≤ e_φ ≤ e_u such that at
+// most n/s data elements lie between the true quantile and either bound —
+// a deterministic, distribution-free guarantee (the paper's Lemmas 1–3).
+// Memory use is m + r·s elements; every additional quantile costs O(1).
+//
+// # Quick start
+//
+//	summary, err := opaq.BuildFromSlice(keys, opaq.Config{RunLen: 1 << 16, SampleSize: 1 << 10})
+//	if err != nil { ... }
+//	b, err := summary.Bounds(0.5) // deterministic enclosure of the median
+//	fmt.Println(b.Lower, b.Upper, b.MaxBelow, b.MaxAbove)
+//
+// For data on disk, write it with WriteFile (or stream it with
+// WriteFileFunc), open it with OpenFile, and call BuildFromDataset; the
+// build performs exactly one sequential pass. ExactQuantile spends one
+// additional pass to refine an enclosure into the exact value. Merge
+// combines summaries of disjoint data for incremental maintenance.
+//
+// The subpackages under internal are the implementation; this package is
+// the supported surface.
+package opaq
+
+import (
+	"cmp"
+	"io"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/extsort"
+	"opaq/internal/histogram"
+	"opaq/internal/multipass"
+	"opaq/internal/runio"
+)
+
+// Config fixes the sample-phase parameters: RunLen is the paper's m,
+// SampleSize its s. See core.Config for the constraints.
+type Config = core.Config
+
+// Summary is a one-pass quantile summary; see core.Summary.
+type Summary[T cmp.Ordered] = core.Summary[T]
+
+// Bounds is a deterministic quantile enclosure; see core.Bounds.
+type Bounds[T cmp.Ordered] = core.Bounds[T]
+
+// Plan is a memory-budgeted parameter choice; see core.Plan.
+type Plan = core.Plan
+
+// Dataset is a rescannable element source; see runio.Dataset.
+type Dataset[T any] = runio.Dataset[T]
+
+// RunReader is a sequential run iterator; see runio.RunReader.
+type RunReader[T any] = runio.RunReader[T]
+
+// Sentinel errors re-exported from the core.
+var (
+	// ErrConfig reports an invalid Config.
+	ErrConfig = core.ErrConfig
+	// ErrEmpty reports an operation on an empty summary.
+	ErrEmpty = core.ErrEmpty
+	// ErrPhi reports a quantile fraction outside (0, 1].
+	ErrPhi = core.ErrPhi
+	// ErrIncompatible reports summaries that cannot be merged.
+	ErrIncompatible = core.ErrIncompatible
+)
+
+// Build runs the one-pass sample phase over a run reader.
+func Build[T cmp.Ordered](rr RunReader[T], cfg Config) (*Summary[T], error) {
+	return core.Build(rr, cfg)
+}
+
+// BuildFromDataset runs the sample phase over a fresh scan of ds.
+func BuildFromDataset[T cmp.Ordered](ds Dataset[T], cfg Config) (*Summary[T], error) {
+	return core.BuildFromDataset(ds, cfg)
+}
+
+// BuildFromSlice runs the sample phase over an in-memory slice.
+func BuildFromSlice[T cmp.Ordered](xs []T, cfg Config) (*Summary[T], error) {
+	return core.BuildFromSlice(xs, cfg)
+}
+
+// Merge combines two summaries built with the same m/s ratio into one
+// covering the union of their data (incremental maintenance).
+func Merge[T cmp.Ordered](a, b *Summary[T]) (*Summary[T], error) {
+	return core.Merge(a, b)
+}
+
+// ExactQuantile refines a summary's enclosure of the φ-quantile into the
+// exact value with one additional pass over the dataset.
+func ExactQuantile[T cmp.Ordered](ds Dataset[T], s *Summary[T], phi float64) (T, error) {
+	return core.ExactQuantile(ds, s, phi)
+}
+
+// PlanConfig chooses (RunLen, SampleSize) for n elements under a memory
+// budget of memElems elements, targeting q quantiles.
+func PlanConfig(n, memElems int64, q int) (Plan, error) {
+	return core.PlanConfig(n, memElems, q)
+}
+
+// NewMemoryDataset wraps an in-memory slice as a Dataset; elemSize is the
+// modeled on-disk element width in bytes (8 for int64/float64).
+func NewMemoryDataset[T any](xs []T, elemSize int) Dataset[T] {
+	return runio.NewMemoryDataset(xs, elemSize)
+}
+
+// OpenInt64File opens a run file of int64 keys as a Dataset.
+func OpenInt64File(path string) (Dataset[int64], error) {
+	return runio.OpenFile(path, runio.Int64Codec{})
+}
+
+// OpenFloat64File opens a run file of float64 keys as a Dataset.
+func OpenFloat64File(path string) (Dataset[float64], error) {
+	return runio.OpenFile(path, runio.Float64Codec{})
+}
+
+// WriteInt64File writes xs to a run file at path.
+func WriteInt64File(path string, xs []int64) error {
+	return runio.WriteFile(path, runio.Int64Codec{}, xs)
+}
+
+// WriteInt64FileFunc streams n generated int64 keys to a run file without
+// materializing them; gen(i) returns the i-th key.
+func WriteInt64FileFunc(path string, n int64, gen func(i int64) int64) error {
+	return runio.WriteFileFunc(path, runio.Int64Codec{}, n, gen)
+}
+
+// EquiDepth is an equi-depth histogram; see histogram.EquiDepth.
+type EquiDepth[T cmp.Ordered] = histogram.EquiDepth[T]
+
+// BuildHistogram derives a B-bucket equi-depth histogram from a summary —
+// the query-optimizer selectivity application.
+func BuildHistogram[T cmp.Ordered](s *Summary[T], buckets int) (*EquiDepth[T], error) {
+	return histogram.Build(s, buckets)
+}
+
+// SortOptions configures ExternalSort; see extsort.Options.
+type SortOptions = extsort.Options
+
+// SortStats reports partition balance of an external sort; see
+// extsort.Stats.
+type SortStats = extsort.Stats
+
+// ExternalSort sorts the int64 run file at inPath into outPath by quantile
+// partitioning: one OPAQ pass, one scatter pass, one per-bucket sort pass.
+func ExternalSort(inPath, outPath string, opts SortOptions) (SortStats, error) {
+	return extsort.Sort(inPath, outPath, opts)
+}
+
+// Generator is a deterministic workload key stream; see datagen.Generator.
+type Generator = datagen.Generator
+
+// NewUniformGenerator returns uniform int64 keys over [0, max).
+func NewUniformGenerator(seed, max int64) Generator { return datagen.NewUniform(seed, max) }
+
+// NewZipfGenerator returns Zipf-skewed keys with the paper's
+// parameterisation (param 1 = uniform, 0 = maximal skew; the paper
+// evaluates 0.86).
+func NewZipfGenerator(seed int64, distinct int, param float64) (Generator, error) {
+	return datagen.NewZipf(seed, distinct, param)
+}
+
+// SaveSummaryInt64 serializes an int64 summary to w, checksummed, so
+// long-lived pipelines can checkpoint quantile state between ingests.
+func SaveSummaryInt64(w io.Writer, s *Summary[int64]) error {
+	return core.SaveSummary(w, s, runio.Int64Codec{})
+}
+
+// LoadSummaryInt64 restores a summary written by SaveSummaryInt64,
+// re-validating every structural invariant.
+func LoadSummaryInt64(r io.Reader) (*Summary[int64], error) {
+	return core.LoadSummary[int64](r, runio.Int64Codec{})
+}
+
+// ExactQuantileMultipass computes an exact quantile using the multi-pass
+// narrowing strategy of the prior art the paper compares against ([GS90],
+// [MP80]): exact answers under a memory budget, at the cost of
+// ~log(n/memBudget) passes instead of OPAQ's one.
+func ExactQuantileMultipass(ds Dataset[int64], phi float64, memBudget int, seed int64) (int64, int, error) {
+	res, err := multipass.FindExact(ds, phi, memBudget, seed)
+	return res.Value, res.Passes, err
+}
+
+// StreamBuilder ingests elements one at a time and maintains a summary
+// over everything seen — the push-based counterpart of Build; see
+// core.StreamBuilder.
+type StreamBuilder[T cmp.Ordered] = core.StreamBuilder[T]
+
+// NewStreamBuilder returns a streaming summary builder; its Summary()
+// matches Build over the same element sequence exactly.
+func NewStreamBuilder[T cmp.Ordered](cfg Config) (*StreamBuilder[T], error) {
+	return core.NewStreamBuilder[T](cfg)
+}
+
+// NewSelfSimilarGenerator returns keys under the 80–20 self-similar
+// distribution with skew h in [0.5, 1); h = 0.8 is the classic 80–20 rule.
+func NewSelfSimilarGenerator(seed, max int64, h float64) (Generator, error) {
+	return datagen.NewSelfSimilar(seed, max, h)
+}

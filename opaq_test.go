@@ -1,0 +1,283 @@
+package opaq_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"opaq"
+)
+
+// Tests of the public facade: everything a downstream user can reach from
+// `import "opaq"`, across element types and storage backends.
+
+func TestPublicAPIBoundsInt64(t *testing.T) {
+	xs := make([]int64, 10_000)
+	for i := range xs {
+		xs[i] = int64((i * 7919) % 10_000)
+	}
+	sum, err := opaq.BuildFromSlice(xs, opaq.Config{RunLen: 1000, SampleSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sum.Bounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower > 4999 || b.Upper < 4999 {
+		t.Errorf("median of permutation of 0..9999: [%d,%d] must contain 4999", b.Lower, b.Upper)
+	}
+}
+
+func TestPublicAPIFloat64(t *testing.T) {
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64((i*31)%5000) / 10
+	}
+	sum, err := opaq.BuildFromSlice(xs, opaq.Config{RunLen: 500, SampleSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sum.Bounds(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	truth := sorted[1250-1]
+	if b.Lower > truth || truth > b.Upper {
+		t.Errorf("float64 quantile %g outside [%g,%g]", truth, b.Lower, b.Upper)
+	}
+}
+
+func TestPublicAPIStrings(t *testing.T) {
+	// Generic over any cmp.Ordered — strings work too.
+	words := []string{"fig", "apple", "pear", "date", "kiwi", "lime", "plum", "mango"}
+	sum, err := opaq.BuildFromSlice(words, opaq.Config{RunLen: 4, SampleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sum.Bounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	truth := sorted[3] // rank ⌈0.5·8⌉ = 4
+	if b.Lower > truth || truth > b.Upper {
+		t.Errorf("string median %q outside [%q,%q]", truth, b.Lower, b.Upper)
+	}
+}
+
+func TestPublicAPIFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.run")
+	n := int64(50_000)
+	if err := opaq.WriteInt64FileFunc(path, n, func(i int64) int64 { return (i * 6364136223846793005) % 99991 }); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := opaq.OpenInt64File(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != n {
+		t.Fatalf("Count = %d", ds.Count())
+	}
+	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: 5000, SampleSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass exactly: 10 runs of 5000.
+	if got := ds.Stats().ReadOps; got != 10 {
+		t.Errorf("build used %d read ops, want 10 (one pass)", got)
+	}
+	exact, err := opaq.ExactQuantile(ds, sum, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sum.Bounds(0.5)
+	if exact < b.Lower || exact > b.Upper {
+		t.Errorf("exact median %d outside its own enclosure [%d,%d]", exact, b.Lower, b.Upper)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	xs := make([]int64, 8000)
+	for i := range xs {
+		xs[i] = int64(i * 3)
+	}
+	sum, err := opaq.BuildFromSlice(xs, opaq.Config{RunLen: 800, SampleSize: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := opaq.SaveSummaryInt64(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := opaq.LoadSummaryInt64(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sum.Bounds(0.9)
+	b, _ := got.Bounds(0.9)
+	if a.Lower != b.Lower || a.Upper != b.Upper {
+		t.Error("bounds changed across save/load via facade")
+	}
+}
+
+func TestPublicAPIMultipass(t *testing.T) {
+	xs := make([]int64, 100_000)
+	for i := range xs {
+		xs[i] = int64((i*48271)%65537 - 32768)
+	}
+	ds := opaq.NewMemoryDataset(xs, 8)
+	v, passes, err := opaq.ExactQuantileMultipass(ds, 0.75, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if want := sorted[75_000-1]; v != want {
+		t.Errorf("multipass p75 = %d, want %d", v, want)
+	}
+	if passes < 2 {
+		t.Errorf("expected multiple passes with budget 1000 over 100k, got %d", passes)
+	}
+}
+
+func TestPublicAPIErrorsAreMatchable(t *testing.T) {
+	if _, err := opaq.BuildFromSlice([]int64{1}, opaq.Config{RunLen: 0}); !errors.Is(err, opaq.ErrConfig) {
+		t.Errorf("want ErrConfig, got %v", err)
+	}
+	sum, err := opaq.BuildFromSlice([]int64{1, 2, 3, 4}, opaq.Config{RunLen: 4, SampleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.Bounds(2); !errors.Is(err, opaq.ErrPhi) {
+		t.Errorf("want ErrPhi, got %v", err)
+	}
+	empty, _ := opaq.BuildFromSlice[int64](nil, opaq.Config{RunLen: 4, SampleSize: 2})
+	if _, err := empty.Bounds(0.5); !errors.Is(err, opaq.ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	other, _ := opaq.BuildFromSlice([]int64{1, 2, 3, 4}, opaq.Config{RunLen: 4, SampleSize: 4})
+	if _, err := opaq.Merge(sum, other); !errors.Is(err, opaq.ErrIncompatible) {
+		t.Errorf("want ErrIncompatible, got %v", err)
+	}
+}
+
+func TestPublicAPIPlanThenBuild(t *testing.T) {
+	plan, err := opaq.PlanConfig(1_000_000, 50_000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.SampleSize < 40 {
+		t.Errorf("planned s = %d < 2q", plan.Config.SampleSize)
+	}
+	xs := make([]int64, 100_000)
+	for i := range xs {
+		xs[i] = int64(i ^ 0x5a5a)
+	}
+	if _, err := opaq.BuildFromSlice(xs, plan.Config); err != nil {
+		t.Errorf("planned config failed to build: %v", err)
+	}
+}
+
+func TestPublicAPIHistogramAndSort(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	out := filepath.Join(dir, "out.run")
+	n := int64(30_000)
+	if err := opaq.WriteInt64FileFunc(in, n, func(i int64) int64 { return (i * 2654435761) % 1_000_003 }); err != nil {
+		t.Fatal(err)
+	}
+	st, err := opaq.ExternalSort(in, out, opaq.SortOptions{
+		Buckets: 4,
+		Config:  opaq.Config{RunLen: 3000, SampleSize: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != n || st.Imbalance() > 1.5 {
+		t.Errorf("sort stats: %+v", st)
+	}
+	ds, err := opaq.OpenInt64File(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: 3000, SampleSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := opaq.BuildHistogram(sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 10 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+	if s := h.Selectivity(0, 500_000); s < 0.3 || s > 0.7 {
+		t.Errorf("selectivity of lower half = %g, want ≈0.5", s)
+	}
+}
+
+func TestPublicAPIParallel(t *testing.T) {
+	const p = 4
+	shards := make([][]int64, p)
+	for i := range shards {
+		sh := make([]int64, 8000)
+		for j := range sh {
+			sh[j] = int64((i*8000 + j) * 104729 % 999983)
+		}
+		shards[i] = sh
+	}
+	res, err := opaq.ParallelRun(shards, opaq.ParallelConfig{
+		Core:  opaq.Config{RunLen: 2000, SampleSize: 200},
+		Procs: p,
+		Merge: opaq.BitonicMerge,
+		Model: opaq.DefaultCostModel(),
+		Disk:  opaq.DefaultDiskModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N() != int64(p*8000) {
+		t.Errorf("N = %d", res.Summary.N())
+	}
+	if res.TotalTime <= 0 {
+		t.Error("simulated time must be positive")
+	}
+	var all []int64
+	for _, sh := range shards {
+		all = append(all, sh...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b, err := res.Summary.Bounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := all[len(all)/2-1]
+	if b.Lower > truth || truth > b.Upper {
+		t.Errorf("parallel median %d outside [%d,%d]", truth, b.Lower, b.Upper)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	g := opaq.NewUniformGenerator(1, 100)
+	for i := 0; i < 100; i++ {
+		if v := g.Next(); v < 0 || v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+	z, err := opaq.NewZipfGenerator(1, 1000, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Name() != "zipf" {
+		t.Errorf("Name = %q", z.Name())
+	}
+	if _, err := opaq.NewZipfGenerator(1, 0, 0.86); err == nil {
+		t.Error("bad zipf universe should fail")
+	}
+}
