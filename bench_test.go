@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 
 	"opaq"
@@ -78,6 +80,40 @@ func BenchmarkBuildSummary(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBuildWorkers sweeps Config.Workers over a disk-resident run
+// file, making the speedup of the concurrent sample-phase pipeline (and
+// its bit-identical output) visible in the perf trajectory. Workers=1 is
+// the sequential baseline; higher counts overlap prefetching I/O with
+// concurrent multi-selection.
+func BenchmarkBuildWorkers(b *testing.B) {
+	const n = 2_000_000
+	path := filepath.Join(b.TempDir(), "bench.run")
+	gen := datagen.NewUniform(1, 1<<62)
+	if err := opaq.WriteInt64FileFunc(path, n, func(int64) int64 { return gen.Next() }); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := opaq.Config{RunLen: 1 << 16, SampleSize: 1 << 10, Workers: w}
+			b.SetBytes(n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds, err := opaq.OpenInt64File(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := opaq.BuildFromDataset(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

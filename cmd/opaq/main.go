@@ -69,14 +69,15 @@ func usage() {
 run "opaq <subcommand> -h" for flags`)
 }
 
-func sampleFlags(fs *flag.FlagSet) (*string, *int, *int) {
+func sampleFlags(fs *flag.FlagSet) (*string, *int, *int, *int) {
 	in := fs.String("in", "", "input run file")
 	m := fs.Int("m", 1<<16, "run length (elements per run)")
 	s := fs.Int("s", 1<<10, "samples per run (must divide m)")
-	return in, m, s
+	w := fs.Int("workers", 0, "concurrent sampling workers (0 = GOMAXPROCS, 1 = sequential)")
+	return in, m, s, w
 }
 
-func buildSummary(in string, m, s int) (opaq.Dataset[int64], *opaq.Summary[int64], error) {
+func buildSummary(in string, m, s, workers int) (opaq.Dataset[int64], *opaq.Summary[int64], error) {
 	if in == "" {
 		return nil, nil, fmt.Errorf("missing -in")
 	}
@@ -84,7 +85,7 @@ func buildSummary(in string, m, s int) (opaq.Dataset[int64], *opaq.Summary[int64
 	if err != nil {
 		return nil, nil, err
 	}
-	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: m, SampleSize: s})
+	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: m, SampleSize: s, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -126,10 +127,10 @@ func cmdGen(args []string) error {
 
 func cmdQuantiles(args []string) error {
 	fs := flag.NewFlagSet("quantiles", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	q := fs.Int("q", 10, "report the q−1 equally spaced quantiles")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s)
+	_, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}
@@ -148,10 +149,10 @@ func cmdQuantiles(args []string) error {
 
 func cmdExact(args []string) error {
 	fs := flag.NewFlagSet("exact", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	phi := fs.Float64("phi", 0.5, "quantile fraction in (0,1]")
 	fs.Parse(args)
-	ds, sum, err := buildSummary(*in, *m, *s)
+	ds, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}
@@ -165,10 +166,10 @@ func cmdExact(args []string) error {
 
 func cmdRank(args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	key := fs.Int64("key", 0, "key whose rank to bound")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s)
+	_, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}
@@ -179,10 +180,10 @@ func cmdRank(args []string) error {
 
 func cmdHistogram(args []string) error {
 	fs := flag.NewFlagSet("histogram", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	buckets := fs.Int("buckets", 10, "equi-depth bucket count")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s)
+	_, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}
@@ -200,7 +201,7 @@ func cmdHistogram(args []string) error {
 
 func cmdSort(args []string) error {
 	fs := flag.NewFlagSet("sort", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	out := fs.String("out", "", "output run file")
 	buckets := fs.Int("buckets", 16, "partition count (each partition must fit in memory)")
 	fs.Parse(args)
@@ -209,7 +210,7 @@ func cmdSort(args []string) error {
 	}
 	st, err := opaq.ExternalSort(*in, *out, opaq.SortOptions{
 		Buckets: *buckets,
-		Config:  opaq.Config{RunLen: *m, SampleSize: *s},
+		Config:  opaq.Config{RunLen: *m, SampleSize: *s, Workers: *w},
 	})
 	if err != nil {
 		return err
@@ -221,13 +222,13 @@ func cmdSort(args []string) error {
 
 func cmdCheckpoint(args []string) error {
 	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	out := fs.String("out", "", "output summary file")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("missing -out")
 	}
-	_, sum, err := buildSummary(*in, *m, *s)
+	_, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}
@@ -304,10 +305,10 @@ func cmdMerge(args []string) error {
 
 func cmdCDF(args []string) error {
 	fs := flag.NewFlagSet("cdf", flag.ExitOnError)
-	in, m, s := sampleFlags(fs)
+	in, m, s, w := sampleFlags(fs)
 	key := fs.Int64("key", 0, "key whose CDF to bound")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s)
+	_, sum, err := buildSummary(*in, *m, *s, *w)
 	if err != nil {
 		return err
 	}

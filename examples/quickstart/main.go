@@ -24,7 +24,10 @@ func main() {
 		amounts[i] = rng.Int63n(1_000_000)
 	}
 
-	cfg := opaq.Config{RunLen: 250_000, SampleSize: 1000}
+	// Workers: 0 runs the sample phase as a concurrent pipeline across all
+	// cores (runs are prefetched while earlier ones are sampled); the
+	// summary is bit-identical to a sequential build.
+	cfg := opaq.Config{RunLen: 250_000, SampleSize: 1000, Workers: 0}
 	sum, err := opaq.BuildFromSlice(amounts, cfg)
 	if err != nil {
 		log.Fatal(err)

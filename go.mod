@@ -1,0 +1,3 @@
+module opaq
+
+go 1.24

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"opaq/internal/merge"
 	"opaq/internal/runio"
@@ -16,6 +18,15 @@ import (
 // of Figure 1 in the paper: for each run, extract the s regular sample
 // points with an O(m log s) multi-selection, then merge the per-run sorted
 // sample lists.
+//
+// With cfg.Workers != 1 the scan runs as a staged pipeline — a prefetching
+// producer reads runs ahead of a bounded pool of sampling workers — which
+// overlaps I/O with computation and scales the per-run multi-selection
+// across cores. This realizes the paper's Section 4 future work ("we can
+// significantly reduce the total execution time by overlapping the I/O and
+// the computation"). Every run is sampled with an RNG seeded independently
+// from (cfg.Seed, run index), so the resulting Summary is bit-identical for
+// any worker count, including the sequential Workers == 1 path.
 //
 // Runs shorter than cfg.RunLen are handled exactly: a short run of length
 // m' contributes ⌊m'·s/m⌋ sample points at the same sub-run spacing, and
@@ -30,20 +41,81 @@ func Build[T cmp.Ordered](rr runio.RunReader[T], cfg Config) (*Summary[T], error
 		return nil, fmt.Errorf("%w: reader run length %d != config RunLen %d",
 			ErrConfig, rr.RunLen(), cfg.RunLen)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	step := cfg.Step()
-
 	var (
-		sampleLists [][]T
-		n           int64
-		leftover    int64
-		runs        int64
-		minV, maxV  T
+		results []runStats[T]
+		err     error
+	)
+	if workers := cfg.effectiveWorkers(); workers <= 1 {
+		results, err = collectSequential(rr, cfg)
+	} else {
+		results, err = collectConcurrent(rr, cfg, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return assemble(results, cfg)
+}
+
+// runStats is one run's contribution to the summary: its sorted regular
+// samples plus the bookkeeping Build aggregates across runs.
+type runStats[T cmp.Ordered] struct {
+	idx      int64 // 0-based index among non-empty runs, in scan order
+	samples  []T
+	n        int64
+	leftover int64
+	min, max T
+}
+
+// runSeed derives the selection RNG seed for the run with 0-based index idx
+// from the configured seed, via one splitmix64 round so consecutive indices
+// yield uncorrelated streams. Giving each run its own seed — rather than
+// threading one RNG through the scan — is what makes the concurrent build
+// bit-identical to the sequential one: the randomness a run sees no longer
+// depends on how many runs were processed before it, or by which worker.
+func runSeed(seed, idx int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(idx)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// sampleRun performs the per-run work of the sample phase: an exact min/max
+// scan plus the O(m log s) multi-selection at the regular ranks. run must be
+// non-empty and is reordered in place.
+func sampleRun[T cmp.Ordered](run []T, idx int64, step int, seed int64) (runStats[T], error) {
+	rs := runStats[T]{idx: idx, n: int64(len(run)), min: run[0], max: run[0]}
+	for _, v := range run[1:] {
+		rs.min = min(rs.min, v)
+		rs.max = max(rs.max, v)
+	}
+	si := len(run) / step // samples this run contributes
+	rs.leftover = int64(len(run) - si*step)
+	if si == 0 {
+		return rs, nil
+	}
+	ranks := make([]int, si)
+	for k := 1; k <= si; k++ {
+		ranks[k-1] = k*step - 1
+	}
+	samples, err := selection.MultiSelect(run, ranks, rand.New(rand.NewSource(runSeed(seed, idx))))
+	if err != nil {
+		return rs, fmt.Errorf("core: sample phase select: %w", err)
+	}
+	rs.samples = samples
+	return rs, nil
+}
+
+// collectSequential is the Workers == 1 path: one goroutine, no channels,
+// runs sampled in scan order.
+func collectSequential[T cmp.Ordered](rr runio.RunReader[T], cfg Config) ([]runStats[T], error) {
+	var (
+		out []runStats[T]
+		idx int64
 	)
 	for {
 		run, err := rr.NextRun()
 		if err == io.EOF {
-			break
+			return out, nil
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: sample phase read: %w", err)
@@ -51,42 +123,145 @@ func Build[T cmp.Ordered](rr runio.RunReader[T], cfg Config) (*Summary[T], error
 		if len(run) == 0 {
 			continue
 		}
-		runs++
-		for _, v := range run {
-			if n == 0 {
-				minV, maxV = v, v
-			} else {
-				if v < minV {
-					minV = v
-				}
-				if v > maxV {
-					maxV = v
+		rs, err := sampleRun(run, idx, cfg.Step(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs)
+		idx++
+	}
+}
+
+// collectConcurrent is the staged pipeline: a producer drains a prefetching
+// reader and hands (index, run) pairs to `workers` sampling goroutines.
+// Results arrive out of order and are re-sequenced by assemble. Peak memory
+// is about (workers + prefetch depth + 1)·RunLen elements in flight, plus
+// the sample lists.
+func collectConcurrent[T cmp.Ordered](rr runio.RunReader[T], cfg Config, workers int) ([]runStats[T], error) {
+	pf, alreadyPrefetching := any(rr).(*runio.PrefetchReader[T])
+	if !alreadyPrefetching {
+		pf = runio.Prefetch(rr, workers)
+		defer pf.Stop()
+	}
+
+	type job struct {
+		idx int64
+		run []T
+	}
+	type result struct {
+		rs  runStats[T]
+		err error
+	}
+	jobs := make(chan job, workers)
+	results := make(chan result, workers)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	cancel := func() { quitOnce.Do(func() { close(quit) }) }
+
+	// Producer: assign scan-order indices and feed the pool.
+	var readErr error
+	go func() {
+		defer close(jobs)
+		var idx int64
+		for {
+			run, err := pf.NextRun()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				readErr = fmt.Errorf("core: sample phase read: %w", err)
+				cancel()
+				return
+			}
+			if len(run) == 0 {
+				continue
+			}
+			select {
+			case jobs <- job{idx: idx, run: run}:
+				idx++
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rs, err := sampleRun(j.run, j.idx, cfg.Step(), cfg.Seed)
+				select {
+				case results <- result{rs: rs, err: err}:
+				case <-quit:
+					return
 				}
 			}
-			n++
-		}
-		si := len(run) / step // samples this run contributes
-		leftover += int64(len(run) - si*step)
-		if si == 0 {
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var (
+		out      []runStats[T]
+		firstErr error
+	)
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			cancel()
 			continue
 		}
-		ranks := make([]int, si)
-		for k := 1; k <= si; k++ {
-			ranks[k-1] = k*step - 1
+		if firstErr == nil {
+			out = append(out, r.rs)
 		}
-		samples, err := selection.MultiSelect(run, ranks, rng)
-		if err != nil {
-			return nil, fmt.Errorf("core: sample phase select: %w", err)
-		}
-		sampleLists = append(sampleLists, samples)
 	}
-	if n == 0 {
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The producer wrote readErr strictly before close(jobs), which
+	// happens-before the workers exiting and results closing above.
+	if readErr != nil {
+		return nil, readErr
+	}
+	return out, nil
+}
+
+// assemble re-sequences per-run contributions into scan order and merges
+// them into the final Summary. All aggregates are order-independent (sums,
+// extrema, and a k-way merge of sorted lists), so the result is identical
+// however the runs were scheduled.
+func assemble[T cmp.Ordered](results []runStats[T], cfg Config) (*Summary[T], error) {
+	step := cfg.Step()
+	if len(results) == 0 {
 		return &Summary[T]{step: int64(step)}, nil
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].idx < results[j].idx })
+	var (
+		sampleLists [][]T
+		n           int64
+		leftover    int64
+		minV, maxV  T
+	)
+	minV, maxV = results[0].min, results[0].max
+	for _, rs := range results {
+		n += rs.n
+		leftover += rs.leftover
+		minV = min(minV, rs.min)
+		maxV = max(maxV, rs.max)
+		if rs.samples != nil {
+			sampleLists = append(sampleLists, rs.samples)
+		}
 	}
 	return &Summary[T]{
 		samples:  merge.KWay(sampleLists),
 		step:     int64(step),
-		runs:     runs,
+		runs:     int64(len(results)),
 		n:        n,
 		leftover: leftover,
 		min:      minV,
@@ -124,12 +299,12 @@ func ExactQuantile[T cmp.Ordered](ds runio.Dataset[T], s *Summary[T], phi float6
 	if err != nil {
 		return zero, err
 	}
-	rr, err := ds.Runs(int(minInt64(int64(1<<16), maxInt64(s.step, 1024))))
+	rr, err := ds.Runs(int(min(int64(1<<16), max(s.step, 1024))))
 	if err != nil {
 		return zero, err
 	}
 	var below int64 // elements strictly below e_l
-	window := make([]T, 0, 2*(s.n/maxInt64(int64(len(s.samples)), 1))+16)
+	window := make([]T, 0, 2*(s.n/max(int64(len(s.samples)), 1))+16)
 	for {
 		run, err := rr.NextRun()
 		if err == io.EOF {
@@ -157,18 +332,4 @@ func ExactQuantile[T cmp.Ordered](ds runio.Dataset[T], s *Summary[T], phi float6
 		return zero, err
 	}
 	return v, nil
-}
-
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

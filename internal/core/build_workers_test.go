@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"opaq/internal/datagen"
+	"opaq/internal/runio"
+)
+
+// workerMatrix is the worker-count sweep every determinism test runs:
+// sequential, small pool, odd pool, and whatever the host offers.
+func workerMatrix() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// buildWith builds a summary of xs at the given worker count over a
+// file-like scan (MemoryDataset hands out fresh run slices, as the disk
+// reader does).
+func buildWith(t *testing.T, xs []int64, cfg Config, workers int) *Summary[int64] {
+	t.Helper()
+	cfg.Workers = workers
+	sum, err := BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return sum
+}
+
+// TestBuildDeterministicAcrossWorkers asserts the tentpole guarantee: the
+// summary is bit-identical for every worker count, on every distribution
+// the paper evaluates, including ragged inputs (n not divisible by RunLen).
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	zipf, err := datagen.NewZipf(11, 5000, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfSim, err := datagen.NewSelfSimilar(12, 1<<40, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := map[string][]int64{
+		"uniform":     datagen.Generate(datagen.NewUniform(10, 1<<40), 60_000),
+		"zipf":        datagen.Generate(zipf, 60_000),
+		"selfsimilar": datagen.Generate(selfSim, 60_000),
+		"ragged":      datagen.Generate(datagen.NewUniform(13, 1<<30), 60_000-4_321),
+	}
+	cfg := Config{RunLen: 4096, SampleSize: 256, Seed: 42}
+	for name, xs := range datasets {
+		t.Run(name, func(t *testing.T) {
+			want := buildWith(t, xs, cfg, 1).Parts()
+			for _, w := range workerMatrix()[1:] {
+				got := buildWith(t, xs, cfg, w).Parts()
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("workers=%d: summary diverged from sequential build", w)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDeterministicAcrossSeeds re-checks that the concurrent path, like
+// the sequential one, returns exact order statistics: different seeds give
+// the same summary at every worker count.
+func TestBuildDeterministicAcrossSeeds(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(3, 1<<35), 30_000)
+	cfg := Config{RunLen: 3000, SampleSize: 100}
+	var want SummaryParts[int64]
+	first := true
+	for _, seed := range []int64{0, 1, -99, 1 << 40} {
+		for _, w := range workerMatrix() {
+			c := cfg
+			c.Seed = seed
+			got := buildWith(t, xs, c, w).Parts()
+			if first {
+				want, first = got, false
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("seed=%d workers=%d: summary diverged", seed, w)
+			}
+		}
+	}
+}
+
+// TestStreamBuilderMatchesConcurrentBuild pins the cross-path guarantee:
+// push-based streaming, sequential pull, and the concurrent pipeline all
+// produce the same bits.
+func TestStreamBuilderMatchesConcurrentBuild(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(7, 1<<30), 25_000) // ragged tail
+	cfg := Config{RunLen: 2048, SampleSize: 128, Seed: 5}
+	sb, err := NewStreamBuilder[int64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := sb.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerMatrix() {
+		built := buildWith(t, xs, cfg, w)
+		if !reflect.DeepEqual(streamed.Parts(), built.Parts()) {
+			t.Errorf("workers=%d: stream and build summaries diverged", w)
+		}
+	}
+}
+
+// errReader delivers a few good runs, then fails.
+type errReader struct {
+	runs int
+	m    int
+}
+
+func (e *errReader) NextRun() ([]int64, error) {
+	if e.runs == 0 {
+		return nil, fmt.Errorf("disk on fire")
+	}
+	e.runs--
+	run := make([]int64, e.m)
+	return run, nil
+}
+
+func (e *errReader) Count() int64 { return int64(e.runs * e.m) }
+func (e *errReader) RunLen() int  { return e.m }
+
+// TestBuildConcurrentPropagatesReadError checks the pipeline shuts down
+// cleanly and surfaces a mid-scan read failure at every worker count.
+func TestBuildConcurrentPropagatesReadError(t *testing.T) {
+	for _, w := range workerMatrix() {
+		cfg := Config{RunLen: 64, SampleSize: 8, Workers: w}
+		_, err := Build[int64](&errReader{runs: 5, m: 64}, cfg)
+		if err == nil {
+			t.Fatalf("workers=%d: expected read error", w)
+		}
+	}
+}
+
+// TestBuildConcurrentEmpty checks the empty-dataset path through the
+// pipeline.
+func TestBuildConcurrentEmpty(t *testing.T) {
+	for _, w := range workerMatrix() {
+		cfg := Config{RunLen: 64, SampleSize: 8, Workers: w}
+		sum, err := BuildFromSlice[int64](nil, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if sum.N() != 0 {
+			t.Fatalf("workers=%d: n=%d", w, sum.N())
+		}
+	}
+}
+
+// TestBuildConcurrentPrewrappedPrefetch verifies Build does not double-wrap
+// a reader the caller already prefetches.
+func TestBuildConcurrentPrewrappedPrefetch(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(21, 1<<30), 20_000)
+	cfg := Config{RunLen: 1024, SampleSize: 64, Seed: 9, Workers: 4}
+	ds := runio.NewMemoryDataset(xs, 8)
+	rr, err := ds.Runs(cfg.RunLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Build(runio.Prefetch(rr, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildWith(t, xs, cfg, 1)
+	if !reflect.DeepEqual(want.Parts(), sum.Parts()) {
+		t.Error("prefetch-wrapped build diverged from sequential")
+	}
+}
+
+// TestConfigWorkersValidation pins the Workers constraint.
+func TestConfigWorkersValidation(t *testing.T) {
+	cfg := Config{RunLen: 8, SampleSize: 2, Workers: -1}
+	if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative Workers: got %v", err)
+	}
+}
+
+// eofCheckReader wraps a reader and records whether NextRun is called again
+// after EOF (the pipeline must not).
+type eofCheckReader struct {
+	inner runio.RunReader[int64]
+	eof   bool
+	after bool
+}
+
+func (r *eofCheckReader) NextRun() ([]int64, error) {
+	if r.eof {
+		r.after = true
+	}
+	run, err := r.inner.NextRun()
+	if err == io.EOF {
+		r.eof = true
+	}
+	return run, err
+}
+
+func (r *eofCheckReader) Count() int64 { return r.inner.Count() }
+func (r *eofCheckReader) RunLen() int  { return r.inner.RunLen() }
+
+// TestBuildConcurrentStopsAtEOF ensures the producer stops reading once the
+// stream ends.
+func TestBuildConcurrentStopsAtEOF(t *testing.T) {
+	xs := datagen.Generate(datagen.NewUniform(31, 1<<30), 10_000)
+	ds := runio.NewMemoryDataset(xs, 8)
+	rr, err := ds.Runs(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := &eofCheckReader{inner: rr}
+	if _, err := Build[int64](chk, Config{RunLen: 512, SampleSize: 64, Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if chk.after {
+		t.Error("NextRun called after EOF")
+	}
+}

@@ -14,14 +14,14 @@ import (
 // behind a RunReader — e.g. a metrics pipeline observing latencies.
 //
 // Internally it buffers up to RunLen elements; each full buffer becomes
-// one run and is sampled exactly as the pull-based sample phase would, so
-// Summary() returns bounds identical to running Build over the same
-// element sequence. The buffered tail (a partial run) is folded in on
-// Summary() with the same ragged-run accounting Build uses, at the cost
-// of an O(RunLen log s) flush.
+// one run and is sampled exactly as the pull-based sample phase would —
+// run i draws its selection RNG from the same (Seed, i) derivation Build
+// uses — so Summary() is bit-identical to running Build over the same
+// element sequence at any Config.Workers setting. The buffered tail (a
+// partial run) is folded in on Summary() with the same ragged-run
+// accounting Build uses, at the cost of an O(RunLen log s) flush.
 type StreamBuilder[T cmp.Ordered] struct {
 	cfg      Config
-	rng      *rand.Rand
 	buf      []T
 	lists    [][]T
 	runs     int64
@@ -37,7 +37,6 @@ func NewStreamBuilder[T cmp.Ordered](cfg Config) (*StreamBuilder[T], error) {
 	}
 	return &StreamBuilder[T]{
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
 		buf: make([]T, 0, cfg.RunLen),
 	}, nil
 }
@@ -86,7 +85,8 @@ func (b *StreamBuilder[T]) flush() error {
 		for k := 1; k <= si; k++ {
 			ranks[k-1] = k*step - 1
 		}
-		samples, err := selection.MultiSelect(b.buf, ranks, b.rng)
+		rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, b.runs-1)))
+		samples, err := selection.MultiSelect(b.buf, ranks, rng)
 		if err != nil {
 			return err
 		}
@@ -118,7 +118,8 @@ func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
 				ranks[k-1] = k*step - 1
 			}
 			cp := append([]T(nil), b.buf...)
-			samples, err := selection.MultiSelect(cp, ranks, b.rng)
+			rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, runs-1)))
+			samples, err := selection.MultiSelect(cp, ranks, rng)
 			if err != nil {
 				return nil, err
 			}

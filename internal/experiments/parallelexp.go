@@ -351,6 +351,7 @@ func All() map[string]func(scale int) (*Table, error) {
 		"figure6": Figure6,
 		"overlap": FigureOverlap,
 		"split":   AblationSplit,
+		"workers": WorkerSweep,
 	}
 }
 
@@ -358,7 +359,7 @@ func All() map[string]func(scale int) (*Table, error) {
 var Order = []string{
 	"table3", "table4", "table5", "table6", "table7",
 	"figure3", "table9", "table10", "table11", "table12",
-	"figure4", "figure5", "figure6", "overlap", "split",
+	"figure4", "figure5", "figure6", "overlap", "split", "workers",
 }
 
 // FigureOverlap is an extension experiment beyond the paper's evaluation:

@@ -5,7 +5,8 @@
 //
 // The sort proceeds in three passes over run files:
 //
-//  1. OPAQ pass: build a quantile summary of the input (one pass).
+//  1. OPAQ pass: build a quantile summary of the input (one pass, run
+//     concurrently across cores when Options.Config.Workers allows).
 //  2. Partition pass: choose k−1 splitters at the 1/k … (k−1)/k quantile
 //     upper bounds and scatter the input into k bucket files (one pass).
 //     Lemma 1 guarantees each bucket holds at most n/k + n/s elements plus
@@ -15,16 +16,22 @@
 //     output (one pass). Buckets are in splitter order, so concatenation
 //     is globally sorted.
 //
+// Everything is generic over the element type: Sort[T] works for any
+// cmp.Ordered key with a runio.Codec[T] describing its on-disk encoding,
+// so the same machinery sorts int64, float64, uint64, … run files.
+//
 // The same partitioning doubles as the load-balancing primitive the paper
 // cites ([DNS91]): Stats.BucketSizes and Stats.Imbalance expose how evenly
 // the splitters cut the data.
 package extsort
 
 import (
+	"cmp"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 
 	"opaq/internal/core"
@@ -36,14 +43,15 @@ type Options struct {
 	// Buckets is k, the number of partitions. Each bucket must fit in
 	// memory; choose k ≥ n/M.
 	Buckets int
-	// Config is the OPAQ sample-phase configuration for the splitter pass.
+	// Config is the OPAQ sample-phase configuration for the splitter pass;
+	// its Workers field also sets the concurrency of that pass.
 	Config core.Config
 	// TempDir holds the bucket files; defaults to the output directory.
 	TempDir string
 }
 
-// Stats reports what the sort did.
-type Stats struct {
+// Stats reports what a sort over elements of type T did.
+type Stats[T cmp.Ordered] struct {
 	// N is the number of elements sorted.
 	N int64
 	// BucketSizes is the actual population of each bucket after the
@@ -52,11 +60,11 @@ type Stats struct {
 	// MaxBucket is the largest bucket population.
 	MaxBucket int64
 	// Splitters are the k−1 partition boundaries used.
-	Splitters []int64
+	Splitters []T
 }
 
 // Imbalance returns max bucket size over ideal (n/k); 1.0 is perfect.
-func (s Stats) Imbalance() float64 {
+func (s Stats[T]) Imbalance() float64 {
 	if s.N == 0 || len(s.BucketSizes) == 0 {
 		return 1
 	}
@@ -64,16 +72,21 @@ func (s Stats) Imbalance() float64 {
 	return float64(s.MaxBucket) / ideal
 }
 
-// Sort externally sorts the run file at inPath into outPath.
-func Sort(inPath, outPath string, opts Options) (Stats, error) {
-	var st Stats
+// Sort externally sorts the run file of T keys at inPath into outPath,
+// using codec for both ends and for the intermediate bucket files.
+//
+// Floating-point inputs must be NaN-free: NaN compares false with
+// everything, so no total order exists and neither the splitters nor the
+// sorted-output invariant can hold. Sort fails with an error on the first
+// NaN it scatters rather than writing a silently mis-sorted file.
+func Sort[T cmp.Ordered](inPath, outPath string, codec runio.Codec[T], opts Options) (Stats[T], error) {
+	var st Stats[T]
 	if opts.Buckets < 1 {
 		return st, fmt.Errorf("extsort: need ≥1 bucket, got %d", opts.Buckets)
 	}
 	if err := opts.Config.Validate(); err != nil {
 		return st, err
 	}
-	codec := runio.Int64Codec{}
 	ds, err := runio.OpenFile(inPath, codec)
 	if err != nil {
 		return st, err
@@ -84,28 +97,23 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 	}
 
 	// Pass 1: OPAQ summary.
-	sum, err := core.BuildFromDataset[int64](ds, opts.Config)
+	sum, err := core.BuildFromDataset[T](ds, opts.Config)
+	if err != nil {
+		return st, err
+	}
+	st.Splitters, err = splitters(sum, opts.Buckets)
 	if err != nil {
 		return st, err
 	}
 
-	// Splitters: upper bounds of the i/k quantiles (upper bounds guarantee
-	// that everything ≤ splitter i has rank ≤ i·n/k + n/s).
+	// Pass 2: scatter into bucket files, with the next run prefetched while
+	// the current one is scattered.
 	k := opts.Buckets
-	for i := 1; i < k; i++ {
-		b, err := sum.Bounds(float64(i) / float64(k))
-		if err != nil {
-			return st, err
-		}
-		st.Splitters = append(st.Splitters, b.Upper)
-	}
-
-	// Pass 2: scatter into bucket files.
 	tempDir := opts.TempDir
 	if tempDir == "" {
 		tempDir = filepath.Dir(outPath)
 	}
-	writers := make([]*runio.Writer[int64], k)
+	writers := make([]*runio.Writer[T], k)
 	paths := make([]string, k)
 	for i := range writers {
 		paths[i] = filepath.Join(tempDir, fmt.Sprintf("bucket-%04d.run", i))
@@ -126,9 +134,12 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 	if err != nil {
 		return st, err
 	}
+	pf := runio.Prefetch(rr, 1)
+	defer pf.Stop()
 	st.BucketSizes = make([]int64, k)
+	var scattered int64
 	for {
-		run, err := rr.NextRun()
+		run, err := pf.NextRun()
 		if err == io.EOF {
 			break
 		}
@@ -136,11 +147,15 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 			return st, err
 		}
 		for _, v := range run {
-			b := searchInt64s(st.Splitters, v) // first splitter ≥ v
+			if v != v { // NaN: unordered, see doc comment
+				return st, fmt.Errorf("extsort: input element %d is NaN; NaN keys have no total order", scattered)
+			}
+			b := searchSplitters(st.Splitters, v) // first splitter ≥ v
 			if err := writers[b].Append(v); err != nil {
 				return st, err
 			}
 			st.BucketSizes[b]++
+			scattered++
 		}
 	}
 	for _, w := range writers {
@@ -149,9 +164,7 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 		}
 	}
 	for _, c := range st.BucketSizes {
-		if c > st.MaxBucket {
-			st.MaxBucket = c
-		}
+		st.MaxBucket = max(st.MaxBucket, c)
 	}
 
 	// Pass 3: sort each bucket in memory and concatenate.
@@ -165,12 +178,12 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 			out.Close()
 			return st, err
 		}
-		vals, err := runio.ReadAll[int64](bds)
+		vals, err := runio.ReadAll[T](bds)
 		if err != nil {
 			out.Close()
 			return st, err
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		slices.Sort(vals)
 		if err := out.Append(vals...); err != nil {
 			out.Close()
 			return st, fmt.Errorf("extsort: bucket %d out of global order: %w", i, err)
@@ -185,8 +198,8 @@ func Sort(inPath, outPath string, opts Options) (Stats, error) {
 // SortSlice is an in-memory convenience over the same partition logic,
 // returning the sorted data and partition statistics; used by the
 // load-balancing example and tests.
-func SortSlice(xs []int64, opts Options) ([]int64, Stats, error) {
-	var st Stats
+func SortSlice[T cmp.Ordered](xs []T, opts Options) ([]T, Stats[T], error) {
+	var st Stats[T]
 	if opts.Buckets < 1 {
 		return nil, st, fmt.Errorf("extsort: need ≥1 bucket, got %d", opts.Buckets)
 	}
@@ -198,33 +211,45 @@ func SortSlice(xs []int64, opts Options) ([]int64, Stats, error) {
 	if err != nil {
 		return nil, st, err
 	}
-	k := opts.Buckets
-	for i := 1; i < k; i++ {
-		b, err := sum.Bounds(float64(i) / float64(k))
-		if err != nil {
-			return nil, st, err
-		}
-		st.Splitters = append(st.Splitters, b.Upper)
+	if st.Splitters, err = splitters(sum, opts.Buckets); err != nil {
+		return nil, st, err
 	}
-	buckets := make([][]int64, k)
+	k := opts.Buckets
+	buckets := make([][]T, k)
 	st.BucketSizes = make([]int64, k)
-	for _, v := range xs {
-		b := searchInt64s(st.Splitters, v)
+	for i, v := range xs {
+		if v != v { // NaN: unordered, as in Sort
+			return nil, st, fmt.Errorf("extsort: input element %d is NaN; NaN keys have no total order", i)
+		}
+		b := searchSplitters(st.Splitters, v)
 		buckets[b] = append(buckets[b], v)
 		st.BucketSizes[b]++
 	}
-	out := make([]int64, 0, len(xs))
+	out := make([]T, 0, len(xs))
 	for i, bkt := range buckets {
-		sort.Slice(bkt, func(a, b int) bool { return bkt[a] < bkt[b] })
+		slices.Sort(bkt)
 		out = append(out, bkt...)
-		if st.BucketSizes[i] > st.MaxBucket {
-			st.MaxBucket = st.BucketSizes[i]
-		}
+		st.MaxBucket = max(st.MaxBucket, st.BucketSizes[i])
 	}
 	return out, st, nil
 }
 
-// searchInt64s returns the index of the first element of a that is ≥ x.
-func searchInt64s(a []int64, x int64) int {
+// splitters derives the k−1 partition boundaries from a summary: the upper
+// bounds of the i/k quantiles (upper bounds guarantee that everything ≤
+// splitter i has rank ≤ i·n/k + n/s).
+func splitters[T cmp.Ordered](sum *core.Summary[T], k int) ([]T, error) {
+	out := make([]T, 0, k-1)
+	for i := 1; i < k; i++ {
+		b, err := sum.Bounds(float64(i) / float64(k))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.Upper)
+	}
+	return out, nil
+}
+
+// searchSplitters returns the index of the first element of a that is ≥ x.
+func searchSplitters[T cmp.Ordered](a []T, x T) int {
 	return sort.Search(len(a), func(i int) bool { return a[i] >= x })
 }

@@ -1,9 +1,11 @@
 package extsort
 
 import (
+	"math"
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -27,7 +29,7 @@ func TestSortFileRoundTrip(t *testing.T) {
 	if err := runio.WriteFile(in, runio.Int64Codec{}, xs); err != nil {
 		t.Fatal(err)
 	}
-	st, err := Sort(in, out, defaultOpts())
+	st, err := Sort(in, out, runio.Int64Codec{}, defaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestSortEmptyFile(t *testing.T) {
 	if err := runio.WriteFile(in, runio.Int64Codec{}, nil); err != nil {
 		t.Fatal(err)
 	}
-	st, err := Sort(in, out, defaultOpts())
+	st, err := Sort(in, out, runio.Int64Codec{}, defaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,13 +85,13 @@ func TestSortEmptyFile(t *testing.T) {
 }
 
 func TestSortValidation(t *testing.T) {
-	if _, err := Sort("x", "y", Options{Buckets: 0, Config: core.Config{RunLen: 4, SampleSize: 2}}); err == nil {
+	if _, err := Sort[int64]("x", "y", runio.Int64Codec{}, Options{Buckets: 0, Config: core.Config{RunLen: 4, SampleSize: 2}}); err == nil {
 		t.Error("0 buckets should fail")
 	}
-	if _, err := Sort("x", "y", Options{Buckets: 2, Config: core.Config{RunLen: 0}}); err == nil {
+	if _, err := Sort[int64]("x", "y", runio.Int64Codec{}, Options{Buckets: 2, Config: core.Config{RunLen: 0}}); err == nil {
 		t.Error("invalid config should fail")
 	}
-	if _, err := Sort("/nonexistent/in.run", "/tmp/out.run", defaultOpts()); err == nil {
+	if _, err := Sort("/nonexistent/in.run", "/tmp/out.run", runio.Int64Codec{}, defaultOpts()); err == nil {
 		t.Error("missing input should fail")
 	}
 }
@@ -120,7 +122,7 @@ func TestSortSliceZipfDuplicates(t *testing.T) {
 }
 
 func TestSortSliceEmpty(t *testing.T) {
-	got, st, err := SortSlice(nil, defaultOpts())
+	got, st, err := SortSlice[int64](nil, defaultOpts())
 	if err != nil || len(got) != 0 || st.N != 0 {
 		t.Fatalf("SortSlice(nil) = %v, %+v, %v", got, st, err)
 	}
@@ -207,7 +209,7 @@ func TestQuickSortFile(t *testing.T) {
 		if err := runio.WriteFile(in, runio.Int64Codec{}, xs); err != nil {
 			return false
 		}
-		st, err := Sort(in, out, Options{
+		st, err := Sort(in, out, runio.Int64Codec{}, Options{
 			Buckets: k,
 			Config:  core.Config{RunLen: 256, SampleSize: 32},
 			TempDir: dir,
@@ -250,4 +252,122 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return s
+}
+
+// TestSortFloat64RoundTrip pins the codec-generic path: a float64 run file
+// externally sorted via Sort[float64] comes back globally sorted with every
+// element intact, including negatives and fractional values.
+func TestSortFloat64RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	out := filepath.Join(dir, "out.run")
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 40_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 1e6
+	}
+	if err := runio.WriteFile(in, runio.Float64Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Buckets: 8,
+		Config:  core.Config{RunLen: 1000, SampleSize: 100, Workers: 3},
+		TempDir: dir,
+	}
+	st, err := Sort(in, out, runio.Float64Codec{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != int64(len(xs)) {
+		t.Fatalf("N = %d, want %d", st.N, len(xs))
+	}
+	if len(st.Splitters) != opts.Buckets-1 {
+		t.Fatalf("got %d splitters, want %d", len(st.Splitters), opts.Buckets-1)
+	}
+	ds, err := runio.OpenFile(out, runio.Float64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runio.ReadAll[float64](ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("output has %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSortUint64 exercises a third key type end to end.
+func TestSortUint64(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	out := filepath.Join(dir, "out.run")
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]uint64, 10_000)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	if err := runio.WriteFile(in, runio.Uint64Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Sort(in, out, runio.Uint64Codec{}, Options{
+		Buckets: 4,
+		Config:  core.Config{RunLen: 1000, SampleSize: 100},
+		TempDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != int64(len(xs)) {
+		t.Fatalf("N = %d", st.N)
+	}
+	ds, err := runio.OpenFile(out, runio.Uint64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runio.ReadAll[uint64](ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("output out of order at %d", i)
+		}
+	}
+}
+
+// TestSortRejectsNaN pins the NaN guard: a float64 input containing NaN
+// must fail loudly instead of producing a silently mis-sorted file.
+func TestSortRejectsNaN(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	out := filepath.Join(dir, "out.run")
+	xs := make([]float64, 5_000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	xs[2_500] = math.NaN()
+	if err := runio.WriteFile(in, runio.Float64Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(in, out, runio.Float64Codec{}, Options{
+		Buckets: 4,
+		Config:  core.Config{RunLen: 1000, SampleSize: 100},
+		TempDir: dir,
+	}); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Fatalf("Sort with NaN input: got err %v, want NaN error", err)
+	}
+	if _, _, err := SortSlice(xs, Options{
+		Buckets: 4,
+		Config:  core.Config{RunLen: 1000, SampleSize: 100},
+	}); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Fatalf("SortSlice with NaN input: got err %v, want NaN error", err)
+	}
 }

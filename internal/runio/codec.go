@@ -37,6 +37,9 @@ const (
 	KindInt64   uint16 = 1
 	KindFloat64 uint16 = 2
 	KindUint64  uint16 = 3
+	KindInt32   uint16 = 4
+	KindUint32  uint16 = 5
+	KindFloat32 uint16 = 6
 )
 
 // Int64Codec encodes int64 keys little-endian; the integer-key workloads of
@@ -89,6 +92,56 @@ func (Uint64Codec) Decode(buf []byte) uint64 { return binary.LittleEndian.Uint64
 // Kind implements Codec.
 func (Uint64Codec) Kind() uint16 { return KindUint64 }
 
+// Int32Codec encodes int32 keys little-endian, halving the disk footprint
+// for workloads whose key space fits 32 bits.
+type Int32Codec struct{}
+
+// Size implements Codec.
+func (Int32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (Int32Codec) Encode(buf []byte, v int32) { binary.LittleEndian.PutUint32(buf, uint32(v)) }
+
+// Decode implements Codec.
+func (Int32Codec) Decode(buf []byte) int32 { return int32(binary.LittleEndian.Uint32(buf)) }
+
+// Kind implements Codec.
+func (Int32Codec) Kind() uint16 { return KindInt32 }
+
+// Uint32Codec encodes uint32 keys little-endian.
+type Uint32Codec struct{}
+
+// Size implements Codec.
+func (Uint32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (Uint32Codec) Encode(buf []byte, v uint32) { binary.LittleEndian.PutUint32(buf, v) }
+
+// Decode implements Codec.
+func (Uint32Codec) Decode(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf) }
+
+// Kind implements Codec.
+func (Uint32Codec) Kind() uint16 { return KindUint32 }
+
+// Float32Codec encodes float32 keys via their IEEE-754 bits.
+type Float32Codec struct{}
+
+// Size implements Codec.
+func (Float32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (Float32Codec) Encode(buf []byte, v float32) {
+	binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+}
+
+// Decode implements Codec.
+func (Float32Codec) Decode(buf []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf))
+}
+
+// Kind implements Codec.
+func (Float32Codec) Kind() uint16 { return KindFloat32 }
+
 // kindName maps codec kinds to human-readable names for error messages.
 func kindName(k uint16) string {
 	switch k {
@@ -98,6 +151,12 @@ func kindName(k uint16) string {
 		return "float64"
 	case KindUint64:
 		return "uint64"
+	case KindInt32:
+		return "int32"
+	case KindUint32:
+		return "uint32"
+	case KindFloat32:
+		return "float32"
 	default:
 		return fmt.Sprintf("unknown(%d)", k)
 	}

@@ -442,3 +442,83 @@ func TestPrefetchPropagatesErrors(t *testing.T) {
 		t.Fatalf("error = %v, want ErrCorrupt", err)
 	}
 }
+
+func TestWriteReadRoundTrip32BitCodecs(t *testing.T) {
+	t.Run("int32", func(t *testing.T) {
+		path := tmpPath(t)
+		want := []int32{5, -3, 0, 1 << 30, -1 << 30}
+		if err := WriteFile(path, Int32Codec{}, want); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenFile(path, Int32Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll[int32](d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round trip: got %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("uint32", func(t *testing.T) {
+		path := tmpPath(t)
+		want := []uint32{0, 1, 1<<32 - 1}
+		if err := WriteFile(path, Uint32Codec{}, want); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenFile(path, Uint32Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll[uint32](d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round trip: got %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("float32", func(t *testing.T) {
+		path := tmpPath(t)
+		want := []float32{3.14, -2.5, 0, 1e30, -1e-30}
+		if err := WriteFile(path, Float32Codec{}, want); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenFile(path, Float32Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll[float32](d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round trip: got %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestCodecKindsDistinct(t *testing.T) {
+	kinds := []uint16{
+		Int64Codec{}.Kind(), Float64Codec{}.Kind(), Uint64Codec{}.Kind(),
+		Int32Codec{}.Kind(), Uint32Codec{}.Kind(), Float32Codec{}.Kind(),
+	}
+	seen := map[uint16]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate codec kind %d", k)
+		}
+		seen[k] = true
+		if kindName(k) == "" || kindName(k)[:4] == "unkn" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

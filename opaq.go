@@ -28,6 +28,17 @@
 // additional pass to refine an enclosure into the exact value. Merge
 // combines summaries of disjoint data for incremental maintenance.
 //
+// # Concurrency and element types
+//
+// Config.Workers turns the build into a staged pipeline: a prefetching
+// producer overlaps disk I/O with a pool of sampling workers (0 means
+// GOMAXPROCS, 1 forces the sequential scan). The resulting Summary is
+// bit-identical for every worker count. The whole disk-facing surface —
+// OpenFile, WriteFile, Sort, SaveSummary, LoadSummary — is generic over a
+// Codec describing the element encoding; Int64Codec, Float64Codec,
+// Uint64Codec and the 32-bit variants are provided, and the OpenInt64File
+// / SaveSummaryInt64-style helpers remain as thin wrappers.
+//
 // The subpackages under internal are the implementation; this package is
 // the supported surface.
 package opaq
@@ -62,6 +73,26 @@ type Dataset[T any] = runio.Dataset[T]
 
 // RunReader is a sequential run iterator; see runio.RunReader.
 type RunReader[T any] = runio.RunReader[T]
+
+// Codec describes how elements of type T are serialized into run files and
+// summary checkpoints; see runio.Codec.
+type Codec[T any] = runio.Codec[T]
+
+// The built-in fixed-width codecs.
+type (
+	// Int64Codec encodes int64 keys little-endian.
+	Int64Codec = runio.Int64Codec
+	// Float64Codec encodes float64 keys via their IEEE-754 bits.
+	Float64Codec = runio.Float64Codec
+	// Uint64Codec encodes uint64 keys little-endian.
+	Uint64Codec = runio.Uint64Codec
+	// Int32Codec encodes int32 keys little-endian.
+	Int32Codec = runio.Int32Codec
+	// Uint32Codec encodes uint32 keys little-endian.
+	Uint32Codec = runio.Uint32Codec
+	// Float32Codec encodes float32 keys via their IEEE-754 bits.
+	Float32Codec = runio.Float32Codec
+)
 
 // Sentinel errors re-exported from the core.
 var (
@@ -114,25 +145,47 @@ func NewMemoryDataset[T any](xs []T, elemSize int) Dataset[T] {
 	return runio.NewMemoryDataset(xs, elemSize)
 }
 
+// OpenFile opens a run file of T keys as a Dataset; codec must match the
+// kind recorded in the file header.
+func OpenFile[T any](path string, codec Codec[T]) (Dataset[T], error) {
+	return runio.OpenFile(path, codec)
+}
+
+// WriteFile writes xs to a run file at path using codec.
+func WriteFile[T any](path string, codec Codec[T], xs []T) error {
+	return runio.WriteFile(path, codec, xs)
+}
+
+// WriteFileFunc streams n generated keys to a run file without
+// materializing them; gen(i) returns the i-th key.
+func WriteFileFunc[T any](path string, codec Codec[T], n int64, gen func(i int64) T) error {
+	return runio.WriteFileFunc(path, codec, n, gen)
+}
+
 // OpenInt64File opens a run file of int64 keys as a Dataset.
 func OpenInt64File(path string) (Dataset[int64], error) {
-	return runio.OpenFile(path, runio.Int64Codec{})
+	return OpenFile[int64](path, runio.Int64Codec{})
 }
 
 // OpenFloat64File opens a run file of float64 keys as a Dataset.
 func OpenFloat64File(path string) (Dataset[float64], error) {
-	return runio.OpenFile(path, runio.Float64Codec{})
+	return OpenFile[float64](path, runio.Float64Codec{})
 }
 
 // WriteInt64File writes xs to a run file at path.
 func WriteInt64File(path string, xs []int64) error {
-	return runio.WriteFile(path, runio.Int64Codec{}, xs)
+	return WriteFile[int64](path, runio.Int64Codec{}, xs)
+}
+
+// WriteFloat64File writes xs to a run file at path.
+func WriteFloat64File(path string, xs []float64) error {
+	return WriteFile[float64](path, runio.Float64Codec{}, xs)
 }
 
 // WriteInt64FileFunc streams n generated int64 keys to a run file without
 // materializing them; gen(i) returns the i-th key.
 func WriteInt64FileFunc(path string, n int64, gen func(i int64) int64) error {
-	return runio.WriteFileFunc(path, runio.Int64Codec{}, n, gen)
+	return WriteFileFunc[int64](path, runio.Int64Codec{}, n, gen)
 }
 
 // EquiDepth is an equi-depth histogram; see histogram.EquiDepth.
@@ -144,17 +197,24 @@ func BuildHistogram[T cmp.Ordered](s *Summary[T], buckets int) (*EquiDepth[T], e
 	return histogram.Build(s, buckets)
 }
 
-// SortOptions configures ExternalSort; see extsort.Options.
+// SortOptions configures Sort and ExternalSort; see extsort.Options.
 type SortOptions = extsort.Options
 
 // SortStats reports partition balance of an external sort; see
 // extsort.Stats.
-type SortStats = extsort.Stats
+type SortStats[T cmp.Ordered] = extsort.Stats[T]
 
-// ExternalSort sorts the int64 run file at inPath into outPath by quantile
-// partitioning: one OPAQ pass, one scatter pass, one per-bucket sort pass.
-func ExternalSort(inPath, outPath string, opts SortOptions) (SortStats, error) {
-	return extsort.Sort(inPath, outPath, opts)
+// Sort externally sorts the run file of T keys at inPath into outPath by
+// quantile partitioning: one OPAQ pass (concurrent per opts.Config.Workers),
+// one scatter pass, one per-bucket sort pass.
+func Sort[T cmp.Ordered](inPath, outPath string, codec Codec[T], opts SortOptions) (SortStats[T], error) {
+	return extsort.Sort(inPath, outPath, codec, opts)
+}
+
+// ExternalSort is Sort specialised to int64 run files, kept as a thin
+// wrapper over the generic path.
+func ExternalSort(inPath, outPath string, opts SortOptions) (SortStats[int64], error) {
+	return Sort[int64](inPath, outPath, runio.Int64Codec{}, opts)
 }
 
 // Generator is a deterministic workload key stream; see datagen.Generator.
@@ -170,16 +230,37 @@ func NewZipfGenerator(seed int64, distinct int, param float64) (Generator, error
 	return datagen.NewZipf(seed, distinct, param)
 }
 
-// SaveSummaryInt64 serializes an int64 summary to w, checksummed, so
-// long-lived pipelines can checkpoint quantile state between ingests.
+// SaveSummary serializes a summary to w, checksummed, so long-lived
+// pipelines can checkpoint quantile state between ingests.
+func SaveSummary[T cmp.Ordered](w io.Writer, s *Summary[T], codec Codec[T]) error {
+	return core.SaveSummary(w, s, codec)
+}
+
+// LoadSummary restores a summary written by SaveSummary with the same
+// codec, re-validating every structural invariant.
+func LoadSummary[T cmp.Ordered](r io.Reader, codec Codec[T]) (*Summary[T], error) {
+	return core.LoadSummary[T](r, codec)
+}
+
+// SaveSummaryInt64 is SaveSummary with the int64 codec.
 func SaveSummaryInt64(w io.Writer, s *Summary[int64]) error {
-	return core.SaveSummary(w, s, runio.Int64Codec{})
+	return SaveSummary(w, s, runio.Int64Codec{})
 }
 
 // LoadSummaryInt64 restores a summary written by SaveSummaryInt64,
 // re-validating every structural invariant.
 func LoadSummaryInt64(r io.Reader) (*Summary[int64], error) {
-	return core.LoadSummary[int64](r, runio.Int64Codec{})
+	return LoadSummary[int64](r, runio.Int64Codec{})
+}
+
+// SaveSummaryFloat64 is SaveSummary with the float64 codec.
+func SaveSummaryFloat64(w io.Writer, s *Summary[float64]) error {
+	return SaveSummary(w, s, runio.Float64Codec{})
+}
+
+// LoadSummaryFloat64 restores a summary written by SaveSummaryFloat64.
+func LoadSummaryFloat64(r io.Reader) (*Summary[float64], error) {
+	return LoadSummary[float64](r, runio.Float64Codec{})
 }
 
 // ExactQuantileMultipass computes an exact quantile using the multi-pass

@@ -281,3 +281,152 @@ func TestPublicAPIGenerators(t *testing.T) {
 		t.Error("bad zipf universe should fail")
 	}
 }
+
+// TestPublicAPIConcurrentBuildDeterminism pins the Workers guarantee at the
+// public surface: summaries are bit-identical at every worker count.
+func TestPublicAPIConcurrentBuildDeterminism(t *testing.T) {
+	xs := make([]int64, 50_000)
+	for i := range xs {
+		xs[i] = int64((i * 2654435761) % 1_000_003)
+	}
+	cfg := opaq.Config{RunLen: 4000, SampleSize: 200, Seed: 3}
+	var want []int64
+	for _, w := range []int{1, 2, 7} {
+		c := cfg
+		c.Workers = w
+		sum, err := opaq.BuildFromSlice(xs, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = sum.Samples()
+			continue
+		}
+		got := sum.Samples()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d samples, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: sample %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPublicAPIGenericFiles round-trips a float32 run file through the
+// codec-generic Open/Write surface and builds a summary over it.
+func TestPublicAPIGenericFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.run")
+	xs := make([]float32, 8_000)
+	for i := range xs {
+		xs[i] = float32(i%997) / 997
+	}
+	if err := opaq.WriteFile(path, opaq.Float32Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := opaq.OpenFile[float32](path, opaq.Float32Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: 1000, SampleSize: 100, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sum.Bounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower > 0.5 || b.Upper < 0.49 {
+		t.Errorf("median enclosure [%g, %g] implausible", b.Lower, b.Upper)
+	}
+}
+
+// TestPublicAPIGenericSortFloat64 externally sorts a float64 run file via
+// the generic Sort with a concurrent splitter pass.
+func TestPublicAPIGenericSortFloat64(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	out := filepath.Join(dir, "out.run")
+	xs := make([]float64, 30_000)
+	for i := range xs {
+		xs[i] = float64((i*48271)%30_011) - 15_000.5
+	}
+	if err := opaq.WriteFloat64File(in, xs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := opaq.Sort(in, out, opaq.Float64Codec{}, opaq.SortOptions{
+		Buckets: 8,
+		Config:  opaq.Config{RunLen: 2000, SampleSize: 100, Workers: 2},
+		TempDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != int64(len(xs)) {
+		t.Fatalf("N = %d", st.N)
+	}
+	ds, err := opaq.OpenFloat64File(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ds.Runs(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for {
+		run, err := rr.NextRun()
+		if err != nil {
+			break
+		}
+		got = append(got, run...)
+	}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPublicAPIGenericPersistence checkpoints a float64 summary through the
+// generic Save/Load pair and the typed wrappers.
+func TestPublicAPIGenericPersistence(t *testing.T) {
+	xs := make([]float64, 6_000)
+	for i := range xs {
+		xs[i] = float64(i) * 0.25
+	}
+	sum, err := opaq.BuildFromSlice(xs, opaq.Config{RunLen: 600, SampleSize: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := opaq.SaveSummaryFloat64(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opaq.LoadSummary[float64](bytes.NewReader(buf.Bytes()), opaq.Float64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != sum.N() || loaded.SampleCount() != sum.SampleCount() {
+		t.Fatalf("loaded summary n=%d samples=%d, want n=%d samples=%d",
+			loaded.N(), loaded.SampleCount(), sum.N(), sum.SampleCount())
+	}
+	wb, _ := sum.Bounds(0.9)
+	lb, err := loaded.Bounds(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Lower != lb.Lower || wb.Upper != lb.Upper {
+		t.Errorf("bounds diverged after round trip: %+v vs %+v", wb, lb)
+	}
+	// A wrong codec must be rejected, not misdecoded.
+	if _, err := opaq.LoadSummary[int64](bytes.NewReader(buf.Bytes()), opaq.Int64Codec{}); err == nil {
+		t.Error("loading float64 checkpoint with int64 codec should fail")
+	}
+}
