@@ -166,3 +166,35 @@ func BenchmarkRankBounds(b *testing.B) {
 		sum.RankBounds(int64(i) * 7919)
 	}
 }
+
+// BenchmarkBuildSharded measures the sharded engine (real transport) over
+// fixed total data as the shard count grows; per-shard Workers is pinned
+// to 1 so the subject is sharding itself.
+func BenchmarkBuildSharded(b *testing.B) {
+	const n, runLen = 2_000_000, 1 << 16
+	gen := datagen.NewUniform(3, 1<<62)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = gen.Next()
+	}
+	cfg := opaq.Config{RunLen: runLen, SampleSize: 1 << 10, Workers: 1}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pieces, err := opaq.ShardSlices(xs, shards, runLen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			datasets := make([]opaq.Dataset[int64], len(pieces))
+			for i, p := range pieces {
+				datasets[i] = opaq.NewMemoryDataset(p, 8)
+			}
+			b.SetBytes(n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opaq.BuildSharded(datasets, cfg, opaq.ShardOptions{Merge: opaq.SampleMerge}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

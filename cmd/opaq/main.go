@@ -4,7 +4,7 @@
 // Usage:
 //
 //	opaq gen       -out data.run -n 1000000 -dist zipf -seed 7
-//	opaq quantiles -in data.run -q 10 -m 65536 -s 1024
+//	opaq quantiles -in data.run -q 10 -m 65536 -s 1024 -shards 8
 //	opaq exact     -in data.run -phi 0.5 -m 65536 -s 1024
 //	opaq rank      -in data.run -key 12345 -m 65536 -s 1024
 //	opaq histogram -in data.run -buckets 20 -m 65536 -s 1024
@@ -14,7 +14,9 @@
 //	opaq cdf       -in data.run -key 12345 -m 65536 -s 1024
 //
 // Every subcommand performs the minimum number of passes: quantiles,
-// rank and histogram one pass; exact two; sort three.
+// rank and histogram one pass; exact two; sort three. -shards N routes the
+// build through the sharded engine (N concurrent shards, PSRS-style sample
+// merge); the summary is bit-identical to the single-shard build.
 package main
 
 import (
@@ -69,23 +71,52 @@ func usage() {
 run "opaq <subcommand> -h" for flags`)
 }
 
-func sampleFlags(fs *flag.FlagSet) (*string, *int, *int, *int) {
-	in := fs.String("in", "", "input run file")
-	m := fs.Int("m", 1<<16, "run length (elements per run)")
-	s := fs.Int("s", 1<<10, "samples per run (must divide m)")
-	w := fs.Int("workers", 0, "concurrent sampling workers (0 = GOMAXPROCS, 1 = sequential)")
-	return in, m, s, w
+// sampleArgs are the flags shared by every summary-building subcommand.
+type sampleArgs struct {
+	in     *string
+	m, s   *int
+	w      *int
+	shards *int
 }
 
-func buildSummary(in string, m, s, workers int) (opaq.Dataset[int64], *opaq.Summary[int64], error) {
-	if in == "" {
+func sampleFlags(fs *flag.FlagSet) sampleArgs {
+	return sampleArgs{
+		in:     fs.String("in", "", "input run file"),
+		m:      fs.Int("m", 1<<16, "run length (elements per run)"),
+		s:      fs.Int("s", 1<<10, "samples per run (must divide m)"),
+		w:      fs.Int("workers", 0, "concurrent sampling workers per shard (0 = GOMAXPROCS, 1 = sequential)"),
+		shards: fs.Int("shards", 1, "build through the sharded engine with this many shards (result is bit-identical to -shards 1)"),
+	}
+}
+
+// build produces the summary: sequentially for -shards 1, through the
+// sharded engine otherwise (the file is split into run-aligned sections
+// scanned concurrently — no materialization). Either way the summary bytes
+// are identical.
+func (a sampleArgs) build() (opaq.Dataset[int64], *opaq.Summary[int64], error) {
+	if *a.in == "" {
 		return nil, nil, fmt.Errorf("missing -in")
 	}
-	ds, err := opaq.OpenInt64File(in)
+	ds, err := opaq.OpenInt64File(*a.in)
 	if err != nil {
 		return nil, nil, err
 	}
-	sum, err := opaq.BuildFromDataset(ds, opaq.Config{RunLen: m, SampleSize: s, Workers: workers})
+	cfg := opaq.Config{RunLen: *a.m, SampleSize: *a.s, Workers: *a.w}
+	if *a.shards < 1 {
+		return nil, nil, fmt.Errorf("-shards must be ≥ 1, got %d", *a.shards)
+	}
+	if *a.shards == 1 {
+		sum, err := opaq.BuildFromDataset(ds, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, sum, nil
+	}
+	sections, err := opaq.ShardFile(*a.in, opaq.Int64Codec{}, *a.shards, *a.m)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum, err := opaq.BuildSharded(sections, cfg, opaq.ShardOptions{Merge: opaq.SampleMerge})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -127,10 +158,10 @@ func cmdGen(args []string) error {
 
 func cmdQuantiles(args []string) error {
 	fs := flag.NewFlagSet("quantiles", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	q := fs.Int("q", 10, "report the q−1 equally spaced quantiles")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s, *w)
+	_, sum, err := sa.build()
 	if err != nil {
 		return err
 	}
@@ -149,10 +180,10 @@ func cmdQuantiles(args []string) error {
 
 func cmdExact(args []string) error {
 	fs := flag.NewFlagSet("exact", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	phi := fs.Float64("phi", 0.5, "quantile fraction in (0,1]")
 	fs.Parse(args)
-	ds, sum, err := buildSummary(*in, *m, *s, *w)
+	ds, sum, err := sa.build()
 	if err != nil {
 		return err
 	}
@@ -166,10 +197,10 @@ func cmdExact(args []string) error {
 
 func cmdRank(args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	key := fs.Int64("key", 0, "key whose rank to bound")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s, *w)
+	_, sum, err := sa.build()
 	if err != nil {
 		return err
 	}
@@ -180,10 +211,10 @@ func cmdRank(args []string) error {
 
 func cmdHistogram(args []string) error {
 	fs := flag.NewFlagSet("histogram", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	buckets := fs.Int("buckets", 10, "equi-depth bucket count")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s, *w)
+	_, sum, err := sa.build()
 	if err != nil {
 		return err
 	}
@@ -201,16 +232,19 @@ func cmdHistogram(args []string) error {
 
 func cmdSort(args []string) error {
 	fs := flag.NewFlagSet("sort", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	out := fs.String("out", "", "output run file")
 	buckets := fs.Int("buckets", 16, "partition count (each partition must fit in memory)")
 	fs.Parse(args)
-	if *in == "" || *out == "" {
+	if *sa.in == "" || *out == "" {
 		return fmt.Errorf("missing -in or -out")
 	}
-	st, err := opaq.ExternalSort(*in, *out, opaq.SortOptions{
+	if *sa.shards != 1 {
+		return fmt.Errorf("sort does not support -shards; its splitter and bucket passes parallelize via -workers")
+	}
+	st, err := opaq.ExternalSort(*sa.in, *out, opaq.SortOptions{
 		Buckets: *buckets,
-		Config:  opaq.Config{RunLen: *m, SampleSize: *s, Workers: *w},
+		Config:  opaq.Config{RunLen: *sa.m, SampleSize: *sa.s, Workers: *sa.w},
 	})
 	if err != nil {
 		return err
@@ -222,13 +256,13 @@ func cmdSort(args []string) error {
 
 func cmdCheckpoint(args []string) error {
 	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	out := fs.String("out", "", "output summary file")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("missing -out")
 	}
-	_, sum, err := buildSummary(*in, *m, *s, *w)
+	_, sum, err := sa.build()
 	if err != nil {
 		return err
 	}
@@ -305,10 +339,10 @@ func cmdMerge(args []string) error {
 
 func cmdCDF(args []string) error {
 	fs := flag.NewFlagSet("cdf", flag.ExitOnError)
-	in, m, s, w := sampleFlags(fs)
+	sa := sampleFlags(fs)
 	key := fs.Int64("key", 0, "key whose CDF to bound")
 	fs.Parse(args)
-	_, sum, err := buildSummary(*in, *m, *s, *w)
+	_, sum, err := sa.build()
 	if err != nil {
 		return err
 	}

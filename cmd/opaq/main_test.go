@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -146,5 +148,45 @@ func TestCmdCDF(t *testing.T) {
 	}
 	if err := cmdCDF([]string{"-key", "5"}); err == nil {
 		t.Error("missing -in should fail")
+	}
+}
+
+// -shards routes the build through the sharded engine; the resulting
+// checkpoint must be byte-identical to the sequential build's.
+func TestCmdShardsCheckpointIdentical(t *testing.T) {
+	path := genFile(t, "zipf", 20_000)
+	dir := t.TempDir()
+	seqSum := filepath.Join(dir, "seq.sum")
+	shdSum := filepath.Join(dir, "shd.sum")
+	if err := cmdCheckpoint([]string{"-in", path, "-m", "2000", "-s", "200", "-out", seqSum}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheckpoint([]string{"-in", path, "-m", "2000", "-s", "200", "-shards", "3", "-out", shdSum}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(seqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(shdSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-shards 3 checkpoint differs from sequential checkpoint")
+	}
+	if err := cmdQuantiles([]string{"-in", path, "-m", "2000", "-s", "200", "-shards", "4", "-q", "4"}); err != nil {
+		t.Fatalf("quantiles -shards: %v", err)
+	}
+	if err := cmdQuantiles([]string{"-in", path, "-shards", "0"}); err == nil {
+		t.Error("-shards 0 should fail")
+	}
+}
+
+func TestCmdSortRejectsShards(t *testing.T) {
+	path := genFile(t, "uniform", 5000)
+	out := filepath.Join(t.TempDir(), "out.run")
+	if err := cmdSort([]string{"-in", path, "-out", out, "-m", "1000", "-s", "100", "-shards", "4"}); err == nil {
+		t.Error("sort -shards should be rejected, not silently ignored")
 	}
 }

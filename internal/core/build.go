@@ -45,7 +45,7 @@ func Build[T cmp.Ordered](rr runio.RunReader[T], cfg Config) (*Summary[T], error
 		results []runStats[T]
 		err     error
 	)
-	if workers := cfg.effectiveWorkers(); workers <= 1 {
+	if workers := cfg.EffectiveWorkers(); workers <= 1 {
 		results, err = collectSequential(rr, cfg)
 	} else {
 		results, err = collectConcurrent(rr, cfg, workers)

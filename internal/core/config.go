@@ -86,12 +86,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// effectiveWorkers resolves the Workers default (0 → GOMAXPROCS).
-func (c Config) effectiveWorkers() int {
+// EffectiveWorkers resolves the Workers policy (0 → GOMAXPROCS, minimum
+// 1) — the single source of truth for every pass driven by this Config,
+// including extsort's bucket-sort pass.
+func (c Config) EffectiveWorkers() int {
 	if c.Workers == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
-	return c.Workers
+	return max(c.Workers, 1)
 }
 
 // Step returns m/s, the number of data elements represented by each sample

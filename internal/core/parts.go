@@ -61,6 +61,57 @@ func NewSummary[T cmp.Ordered](parts SummaryParts[T]) (*Summary[T], error) {
 	}, nil
 }
 
+// AssembleShards combines the per-shard outputs of a distributed sample
+// phase into the global Summary: locals carries each shard's bookkeeping
+// (counts, extrema, step) and globalSamples is the globally merged sorted
+// sample list. The aggregation is the paper's Section 3 quantile phase
+// setup — the global summary behaves exactly like a sequential one with
+// r·p total runs — and is shared by both the simulated machine
+// (parallel.Run) and the real sharded engine (parallel.BuildSharded).
+//
+// globalSamples may carry trailing padding introduced by the bitonic
+// network (pads equal the globally largest sample, so they sort to the
+// tail); AssembleShards trims the list to the exact expected count,
+// Σ len(locals[i].Samples), and rejects a merge that lost samples.
+func AssembleShards[T cmp.Ordered](locals []SummaryParts[T], globalSamples []T) (*Summary[T], error) {
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("%w: no shards to assemble", ErrConfig)
+	}
+	gp := SummaryParts[T]{Step: locals[0].Step}
+	expected := 0
+	first := true
+	for i, lp := range locals {
+		if lp.Step != gp.Step {
+			return nil, fmt.Errorf("%w: shard %d step %d != shard 0 step %d",
+				ErrIncompatible, i, lp.Step, gp.Step)
+		}
+		expected += len(lp.Samples)
+		gp.Runs += lp.Runs
+		gp.N += lp.N
+		gp.Leftover += lp.Leftover
+		if lp.N == 0 {
+			continue
+		}
+		if first {
+			gp.Min, gp.Max = lp.Min, lp.Max
+			first = false
+		} else {
+			gp.Min = min(gp.Min, lp.Min)
+			gp.Max = max(gp.Max, lp.Max)
+		}
+	}
+	if len(globalSamples) < expected {
+		return nil, fmt.Errorf("%w: global merge lost samples: %d < %d",
+			ErrIncompatible, len(globalSamples), expected)
+	}
+	gp.Samples = globalSamples[:expected]
+	sum, err := NewSummary(gp)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling global summary: %w", err)
+	}
+	return sum, nil
+}
+
 // Parts decomposes a Summary; inverse of NewSummary.
 func (s *Summary[T]) Parts() SummaryParts[T] {
 	return SummaryParts[T]{

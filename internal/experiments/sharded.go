@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/parallel"
+	"opaq/internal/runio"
+)
+
+// ShardSweep is an extension experiment beyond the paper's evaluation: it
+// measures the real (wall-clock) time of the sharded engine — the paper's
+// Section 3 parallel formulation on the in-process transport instead of
+// the simulated SP-2 — as the shard count grows over fixed total data.
+// This is the practical counterpart of the simulated speedup plot
+// (Figure 6): the local sample phases run concurrently for real, the
+// global sample merge is the PSRS-style splitter merge, and the summary is
+// re-checked to be bit-identical to the single-shard build at every count.
+func ShardSweep(scale int) (*Table, error) {
+	n := scaleN(8_000_000, scale)
+	const s = 1024
+	m := 1 << 16
+	xs := datagen.Generate(datagen.NewUniform(seqSeed, 1<<62), n)
+	cfg := core.Config{RunLen: m, SampleSize: s, Seed: seqSeed, Workers: 1}
+
+	t := &Table{
+		ID:     "Extension: sharded",
+		Title:  fmt.Sprintf("Sharded engine wall-clock build time (n=%s in memory, m=%d, s=%d, sample merge)", humanN(n), m, s),
+		Header: []string{"Shards", "build time", "speedup"},
+		Notes: []string{
+			"real transport (goroutines, no cost model); summaries are bit-identical at every shard count",
+			"per-shard Workers pinned to 1 so the speedup isolates sharding itself",
+		},
+	}
+	var base time.Duration
+	var baseline *core.Summary[int64]
+	for _, shards := range []int{1, 2, 4, 8} {
+		pieces, err := parallel.ShardSlices(xs, shards, m)
+		if err != nil {
+			return nil, err
+		}
+		datasets := make([]runio.Dataset[int64], len(pieces))
+		for i, p := range pieces {
+			datasets[i] = runio.NewMemoryDataset(p, 8)
+		}
+		start := time.Now()
+		sum, err := parallel.BuildSharded(datasets, cfg, parallel.ShardOptions{Merge: parallel.SampleMerge})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if baseline == nil {
+			base, baseline = elapsed, sum
+		} else if err := sameSummary(baseline, sum); err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		t.AddRow(fmt.Sprintf("shards=%d", shards),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
+	}
+	return t, nil
+}

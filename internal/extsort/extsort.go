@@ -14,7 +14,9 @@
 //     for 1.5·n/k elements always fits.
 //  3. Merge pass: load each bucket, sort it in memory, and append to the
 //     output (one pass). Buckets are in splitter order, so concatenation
-//     is globally sorted.
+//     is globally sorted. Bucket loads and sorts run concurrently across
+//     Options.Config.Workers; the append stays in bucket order, so the
+//     output bytes are identical for every worker count.
 //
 // Everything is generic over the element type: Sort[T] works for any
 // cmp.Ordered key with a runio.Codec[T] describing its on-disk encoding,
@@ -44,7 +46,8 @@ type Options struct {
 	// memory; choose k ≥ n/M.
 	Buckets int
 	// Config is the OPAQ sample-phase configuration for the splitter pass;
-	// its Workers field also sets the concurrency of that pass.
+	// its Workers field also sets the concurrency of that pass and of the
+	// per-bucket sorts in the merge pass (0 = GOMAXPROCS, 1 = sequential).
 	Config core.Config
 	// TempDir holds the bucket files; defaults to the output directory.
 	TempDir string
@@ -167,32 +170,93 @@ func Sort[T cmp.Ordered](inPath, outPath string, codec runio.Codec[T], opts Opti
 		st.MaxBucket = max(st.MaxBucket, c)
 	}
 
-	// Pass 3: sort each bucket in memory and concatenate.
+	// Pass 3: sort the buckets in memory — concurrently across
+	// opts.Config.Workers — and concatenate in bucket order. Buckets are in
+	// splitter order and each is appended only after its predecessor, so
+	// the output bytes are identical for every worker count; the only
+	// things that change are wall-clock time and peak memory (at most
+	// `workers` buckets resident instead of one).
 	out, err := runio.NewSortedWriter(outPath, codec)
 	if err != nil {
 		return st, err
 	}
-	for i := 0; i < k; i++ {
-		bds, err := runio.OpenFile(paths[i], codec)
-		if err != nil {
+	buckets := sortBuckets(paths, codec, opts.Config.EffectiveWorkers())
+	// On early return, keep consuming so the pipeline goroutines terminate.
+	drain := func() {
+		go func() {
+			for range buckets {
+			}
+		}()
+	}
+	for res := range buckets {
+		if res.err != nil {
+			drain()
 			out.Close()
-			return st, err
+			return st, res.err
 		}
-		vals, err := runio.ReadAll[T](bds)
-		if err != nil {
+		if err := out.Append(res.vals...); err != nil {
+			drain()
 			out.Close()
-			return st, err
-		}
-		slices.Sort(vals)
-		if err := out.Append(vals...); err != nil {
-			out.Close()
-			return st, fmt.Errorf("extsort: bucket %d out of global order: %w", i, err)
+			return st, fmt.Errorf("extsort: bucket %d out of global order: %w", res.idx, err)
 		}
 	}
 	if err := out.Close(); err != nil {
 		return st, err
 	}
 	return st, nil
+}
+
+// sortedBucket is one bucket's sorted contents, delivered in bucket order.
+type sortedBucket[T cmp.Ordered] struct {
+	idx  int
+	vals []T
+	err  error
+}
+
+// sortBuckets reads and sorts the bucket files with up to `workers`
+// goroutines and yields them strictly in bucket order. A semaphore held
+// from dispatch until the consumer takes delivery bounds the number of
+// resident buckets to `workers`; because slots are granted in bucket
+// order, the in-order consumer can never be starved by later buckets.
+func sortBuckets[T cmp.Ordered](paths []string, codec runio.Codec[T], workers int) <-chan sortedBucket[T] {
+	results := make([]chan sortedBucket[T], len(paths))
+	for i := range results {
+		results[i] = make(chan sortedBucket[T], 1)
+	}
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i := range paths {
+			sem <- struct{}{}
+			go func(i int) {
+				vals, err := readAndSort(paths[i], codec)
+				results[i] <- sortedBucket[T]{idx: i, vals: vals, err: err}
+			}(i)
+		}
+	}()
+	ordered := make(chan sortedBucket[T])
+	go func() {
+		defer close(ordered)
+		for i := range results {
+			res := <-results[i]
+			<-sem // bucket delivered; free a slot for the next dispatch
+			ordered <- res
+		}
+	}()
+	return ordered
+}
+
+// readAndSort loads one bucket file and sorts it in memory.
+func readAndSort[T cmp.Ordered](path string, codec runio.Codec[T]) ([]T, error) {
+	bds, err := runio.OpenFile(path, codec)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := runio.ReadAll[T](bds)
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(vals)
+	return vals, nil
 }
 
 // SortSlice is an in-memory convenience over the same partition logic,

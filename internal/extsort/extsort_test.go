@@ -1,8 +1,11 @@
 package extsort
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -369,5 +372,39 @@ func TestSortRejectsNaN(t *testing.T) {
 		Config:  core.Config{RunLen: 1000, SampleSize: 100},
 	}); err == nil || !strings.Contains(err.Error(), "NaN") {
 		t.Fatalf("SortSlice with NaN input: got err %v, want NaN error", err)
+	}
+}
+
+// The merge pass sorts buckets concurrently across Config.Workers; the
+// output file must be byte-identical for every worker count.
+func TestSortWorkerCountsIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.run")
+	xs := datagen.Generate(datagen.NewUniform(41, 1<<40), 40_000)
+	if err := runio.WriteFile(in, runio.Int64Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, w := range []int{1, 2, 4, 7} {
+		out := filepath.Join(dir, fmt.Sprintf("out-w%d.run", w))
+		opts := defaultOpts()
+		opts.Buckets = 11 // more buckets than workers: exercises the window
+		opts.Config.Workers = w
+		st, err := Sort(in, out, runio.Int64Codec{}, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if st.N != int64(len(xs)) {
+			t.Fatalf("workers=%d: N = %d", w, st.N)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: output bytes differ from workers=1", w)
+		}
 	}
 }

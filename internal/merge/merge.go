@@ -78,6 +78,41 @@ func IsSorted[T cmp.Ordered](xs []T) bool {
 	return true
 }
 
+// Split merges two sorted blocks of equal length and returns the low or
+// high half — the merge-split primitive that replaces compare-exchange when
+// a bitonic sorting network operates on blocks instead of scalars (paper,
+// Section 3.1; the parallel formulation's bitonic global merge). Both
+// halves of a merge-split are recovered by calling Split twice, once with
+// each keepLow value; inputs are not modified.
+func Split[T cmp.Ordered](a, b []T, keepLow bool) []T {
+	n := len(a)
+	out := make([]T, n)
+	if keepLow {
+		i, j := 0, 0
+		for k := 0; k < n; k++ {
+			if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+				out[k] = a[i]
+				i++
+			} else {
+				out[k] = b[j]
+				j++
+			}
+		}
+		return out
+	}
+	i, j := len(a)-1, len(b)-1
+	for k := n - 1; k >= 0; k-- {
+		if j < 0 || (i >= 0 && a[i] > b[j]) {
+			out[k] = a[i]
+			i--
+		} else {
+			out[k] = b[j]
+			j--
+		}
+	}
+	return out
+}
+
 // Two merges two sorted slices; the common r=2 and pairwise-merge case.
 func Two[T cmp.Ordered](a, b []T) []T {
 	out := make([]T, 0, len(a)+len(b))

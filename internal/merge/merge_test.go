@@ -8,6 +8,44 @@ import (
 	"testing/quick"
 )
 
+func TestSplit(t *testing.T) {
+	a := []int64{1, 3, 5, 7}
+	b := []int64{2, 4, 6, 8}
+	low := Split(a, b, true)
+	high := Split(a, b, false)
+	wantLow := []int64{1, 2, 3, 4}
+	wantHigh := []int64{5, 6, 7, 8}
+	for i := range wantLow {
+		if low[i] != wantLow[i] || high[i] != wantHigh[i] {
+			t.Fatalf("Split: low=%v high=%v", low, high)
+		}
+	}
+}
+
+// Split(a,b,low) ++ Split(a,b,high) must equal the full two-way merge for
+// random equal-length sorted blocks, including duplicates.
+func TestSplitHalvesRecoverMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = int64(rng.Intn(20))
+			b[i] = int64(rng.Intn(20))
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		full := Two(a, b)
+		got := append(Split(a, b, true), Split(a, b, false)...)
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("trial %d: split halves %v != merge %v", trial, got, full)
+			}
+		}
+	}
+}
+
 func TestKWayBasic(t *testing.T) {
 	got := KWay([][]int64{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}})
 	want := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}

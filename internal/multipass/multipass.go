@@ -8,33 +8,47 @@
 // scans the dataset once and counts — exactly — how the previous pass's
 // pivot splits the current interval, so the interval update can never lose
 // the target rank; a reservoir drawn from the interval supplies the next
-// pivot (with value-domain bisection as a fallback, bounding the pass
-// count at 64 even against adversarial data). When the interval's
-// population fits the memory budget, a final selection yields the exact
-// value. Against OPAQ this is the accuracy-versus-passes trade-off: exact
-// answers, but Θ(log(n/M)) passes instead of one.
+// pivot (with value-domain bisection as a fallback against adversarial
+// data). Every pass also tightens the interval to the exact minimum and
+// maximum elements observed inside it, which is what lets the whole
+// machinery be generic over any numeric key type: no ±∞ sentinels and no
+// successor function are needed, because the interval endpoints are always
+// realized data values and a "strictly above the pivot" bound is tracked
+// as an exclusive-endpoint flag. When the interval's population fits the
+// memory budget, a final selection yields the exact value. Against OPAQ
+// this is the accuracy-versus-passes trade-off: exact answers, but
+// Θ(log(n/M)) passes instead of one.
 package multipass
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"opaq/internal/runio"
-	"opaq/internal/selection"
 )
+
+// Key is the element constraint of the multipass baseline: any fixed-width
+// numeric type (every type a runio.Codec exists for). Unlike OPAQ proper —
+// which is purely comparison-based — the bisection fallback needs value
+// arithmetic, so plain cmp.Ordered is not enough.
+type Key interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
 
 // ErrBudget reports an unusably small memory budget.
 var ErrBudget = errors.New("multipass: memory budget too small")
 
 // Result carries the exact quantile plus the cost accounting that the
 // comparison benchmarks report.
-type Result struct {
+type Result[T Key] struct {
 	// Value is the exact φ-quantile.
-	Value int64
+	Value T
 	// Passes is the number of full scans performed.
 	Passes int
 	// Rank is the 1-based rank that was selected.
@@ -43,9 +57,9 @@ type Result struct {
 
 // FindExact computes the exact φ-quantile of ds using at most memBudget
 // resident elements, scanning the dataset as many times as the narrowing
-// requires (≈ log(n/memBudget) passes for well-behaved data, ≤ ~64 always).
-func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) (Result, error) {
-	var res Result
+// requires (≈ log(n/memBudget) passes for well-behaved data).
+func FindExact[T Key](ds runio.Dataset[T], phi float64, memBudget int, seed int64) (Result[T], error) {
+	var res Result[T]
 	n := ds.Count()
 	if n == 0 {
 		return res, errors.New("multipass: empty dataset")
@@ -69,8 +83,14 @@ func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) 
 	res.Rank = rank
 
 	rng := rand.New(rand.NewSource(seed))
-	lo, hi := int64(math.MinInt64), int64(math.MaxInt64) // candidate interval, inclusive
-	var pivot int64
+	// Candidate interval. Before the first pass nothing is known, so every
+	// element is inside; afterwards the interval is [lo, hi], or (lo, hi]
+	// when loStrict excludes the left endpoint (the generic stand-in for
+	// the integer-only "lo = pivot + 1" update).
+	var lo, hi T
+	haveBounds := false
+	loStrict := false
+	var pivot T
 	havePivot := false
 	const pivotSample = 1024
 
@@ -83,10 +103,11 @@ func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) 
 		if err != nil {
 			return res, err
 		}
-		var below, inside, insideLE, seen int64
-		window := make([]int64, 0, memBudget)
+		var below, inside, insideLE, seen, scanned int64
+		var minIn, maxIn T
+		window := make([]T, 0, memBudget)
 		overflow := false
-		var sample []int64
+		var sample []T
 		for {
 			run, err := rr.NextRun()
 			if err == io.EOF {
@@ -96,12 +117,24 @@ func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) 
 				return res, err
 			}
 			for _, v := range run {
-				if v < lo {
-					below++
-					continue
+				if v != v { // NaN: no total order, so no rank is defined
+					return res, fmt.Errorf("multipass: input element %d is NaN; NaN keys have no total order", scanned)
 				}
-				if v > hi {
-					continue
+				scanned++
+				if haveBounds {
+					if v < lo || (loStrict && v == lo) {
+						below++
+						continue
+					}
+					if v > hi {
+						continue
+					}
+				}
+				if inside == 0 {
+					minIn, maxIn = v, v
+				} else {
+					minIn = min(minIn, v)
+					maxIn = max(maxIn, v)
 				}
 				inside++
 				if havePivot && v <= pivot {
@@ -132,48 +165,57 @@ func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) 
 			return res, fmt.Errorf("multipass: interval lost the target rank (target=%d, inside=%d)", target, inside)
 		}
 		if !overflow {
-			v, err := selection.Select(window, int(target-1), rng)
-			if err != nil {
-				return res, err
-			}
-			res.Value = v
+			slices.Sort(window)
+			res.Value = window[target-1]
 			return res, nil
 		}
+		// Tighten to the realized extrema — exact and free, and the source
+		// of guaranteed progress whenever the pivot cannot narrow (a strict
+		// lower bound is always strictly raised by the next pass's minimum).
+		lo, hi, haveBounds, loStrict = minIn, maxIn, true, false
 		if lo == hi {
-			// Single heavily-duplicated value fills the whole interval.
+			// A single heavily-duplicated value fills the whole interval.
 			res.Value = lo
 			return res, nil
 		}
 		// Exact narrowing using the counts for the previous pivot.
 		if havePivot {
 			if target <= insideLE {
-				hi = pivot // everything ≤ pivot stays; count is exact
-			} else {
-				lo = pivot + 1 // excludes every duplicate of pivot; exact
+				if pivot < hi {
+					hi = pivot // everything ≤ pivot stays; count is exact
+				}
+			} else if pivot >= lo {
+				lo = pivot // answer is strictly above the pivot
+				loStrict = true
 			}
-			if lo == hi {
+			if lo == hi && !loStrict {
 				res.Value = lo
 				return res, nil
 			}
 		}
 		// Choose the next pivot: prefer a reservoir element inside the new
 		// interval near the target's relative position; fall back to
-		// value-domain bisection (guaranteed progress in ≤ 64 steps).
+		// value-domain bisection. A pivot equal to hi cannot shrink the
+		// upper half, and one outside [lo, hi) cannot shrink anything, so
+		// those degrade to pivot = lo, which always progresses within two
+		// passes (either hi collapses onto it or it becomes a strict lower
+		// bound that the next extrema-tightening raises).
 		cands := sample[:0:0]
 		for _, v := range sample {
-			if v >= lo && v <= hi {
+			if v >= lo && v <= hi && !(loStrict && v == lo) {
 				cands = append(cands, v)
 			}
 		}
+		havePivot = true
+		pivot = lo
 		if len(cands) > 0 {
-			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			slices.Sort(cands)
 			pos := int(float64(target) / float64(inside) * float64(len(cands)))
 			if pos >= len(cands) {
 				pos = len(cands) - 1
 			}
 			pivot = cands[pos]
-			// A pivot equal to hi cannot shrink the upper half; step down
-			// to the largest candidate strictly below hi.
+			// Step down to the largest candidate strictly below hi.
 			if pivot == hi {
 				if i := sort.Search(len(cands), func(i int) bool { return cands[i] >= hi }); i > 0 {
 					pivot = cands[i-1]
@@ -181,14 +223,30 @@ func FindExact(ds runio.Dataset[int64], phi float64, memBudget int, seed int64) 
 			}
 		}
 		if len(cands) == 0 || pivot == hi {
-			pivot = midpoint(lo, hi)
+			if m := midpoint(lo, hi); m >= lo && m < hi {
+				pivot = m
+			} else {
+				pivot = lo
+			}
 		}
-		havePivot = true
 	}
 }
 
-// midpoint returns lo + (hi−lo)/2 without overflow, strictly below hi for
-// lo < hi.
-func midpoint(lo, hi int64) int64 {
-	return lo + int64(uint64(hi-lo)/2)
+// midpoint returns a value in [lo, hi) splitting the interval for the
+// bisection fallback, halving the value range each step. Integer types get
+// exact overflow-free arithmetic; floating-point types (and named numeric
+// types, which a type switch cannot see through) use float64 arithmetic,
+// whose worst case near the limits of precision merely degrades to the
+// caller's pivot = lo fallback.
+func midpoint[T Key](lo, hi T) T {
+	switch any(lo).(type) {
+	case int, int8, int16, int32, int64:
+		l, h := int64(lo), int64(hi)
+		return T(l + int64(uint64(h-l)/2))
+	case uint, uint8, uint16, uint32, uint64, uintptr:
+		l, h := uint64(lo), uint64(hi)
+		return T(l + (h-l)/2)
+	default:
+		return T(float64(lo) + (float64(hi)-float64(lo))/2)
+	}
 }

@@ -2,8 +2,10 @@ package multipass
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -180,5 +182,83 @@ func TestMidpoint(t *testing.T) {
 		if got := midpoint(c.lo, c.hi); got != c.want {
 			t.Errorf("midpoint(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
 		}
+	}
+}
+
+// The narrowing is generic: float64 keys, where no integer successor or
+// ±∞ sentinel exists, must converge to the sort-based truth.
+func TestFindExactFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	xs := make([]float64, 120_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 1e6
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	ds := runio.NewMemoryDataset(xs, 8)
+	for _, phi := range []float64{0.05, 0.5, 0.95} {
+		res, err := FindExact(ds, phi, 1000, 7)
+		if err != nil {
+			t.Fatalf("phi=%g: %v", phi, err)
+		}
+		rank := int(phi * float64(len(xs)))
+		if float64(rank) < phi*float64(len(xs)) {
+			rank++
+		}
+		if want := sorted[rank-1]; res.Value != want {
+			t.Errorf("phi=%g: got %g, want %g", phi, res.Value, want)
+		}
+		if res.Passes > 25 {
+			t.Errorf("phi=%g: %d passes", phi, res.Passes)
+		}
+	}
+}
+
+// Heavy duplicates of float keys with a budget-overflowing interval: the
+// strict-lower-bound flag plus extrema tightening must converge without a
+// successor function.
+func TestFindExactFloatDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vals := []float64{-1.5, 0, 0, 0, 2.25}
+	xs := make([]float64, 80_000)
+	for i := range xs {
+		xs[i] = vals[rng.Intn(len(vals))]
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	ds := runio.NewMemoryDataset(xs, 8)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		res, err := FindExact(ds, phi, 100, 3)
+		if err != nil {
+			t.Fatalf("phi=%g: %v", phi, err)
+		}
+		rank := int(phi * float64(len(xs)))
+		if float64(rank) < phi*float64(len(xs)) {
+			rank++
+		}
+		if want := sorted[rank-1]; res.Value != want {
+			t.Errorf("phi=%g: got %g, want %g", phi, res.Value, want)
+		}
+	}
+}
+
+func TestMidpointUnsigned(t *testing.T) {
+	if got := midpoint(uint64(0), ^uint64(0)); got != (^uint64(0))/2 {
+		t.Errorf("midpoint(0, MaxUint64) = %d", got)
+	}
+	if got := midpoint(3.0, 4.0); got < 3.0 || got >= 4.0 {
+		t.Errorf("float midpoint out of range: %g", got)
+	}
+}
+
+func TestFindExactRejectsNaN(t *testing.T) {
+	xs := []float64{1, 2, math.NaN(), 4, 5}
+	big := make([]float64, 0, 20_000)
+	for i := 0; i < 4000; i++ {
+		big = append(big, xs...)
+	}
+	ds := runio.NewMemoryDataset(big, 8)
+	if _, err := FindExact(ds, 0.5, 100, 1); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("NaN input should fail fast, got %v", err)
 	}
 }

@@ -1,9 +1,9 @@
 // Package parallel implements the parallel formulation of OPAQ (paper,
-// Section 3) on the simulated message-passing machine of internal/simnet.
+// Section 3) as a transport-agnostic sharded quantile engine.
 //
-// Each of the p processors owns n/p elements, runs the sequential sample
-// phase locally (read runs, multi-select regular samples, merge the local
-// sample lists), and then the p local sorted sample lists are merged into a
+// Each of the p ranks owns n/p elements, runs the sequential sample phase
+// locally (read runs, multi-select regular samples, merge the local sample
+// lists), and then the p local sorted sample lists are merged into a
 // globally sorted, block-distributed sample list by one of two algorithms:
 //
 //   - Bitonic merge: the bitonic sorting network over sorted blocks, with
@@ -11,20 +11,29 @@
 //     (1+log p)·log p·(τ + μ·rs)) — the paper's Table 8, first row.
 //   - Sample merge: parallel sorting by regular sampling without the
 //     initial local sort (the lists are already sorted): pick p regular
-//     samples per processor, gather, choose p−1 splitters, partition, all
-//     to all, local multiway merge. The paper's Table 8, second row.
+//     samples per rank, gather, choose p−1 splitters, partition, all to
+//     all, local multiway merge. The paper's Table 8, second row.
 //
-// The quantile phase is the sequential one with r·p total runs. Real data
-// moves between goroutines and the resulting bounds are bit-identical to a
-// sequential OPAQ over the concatenated data (tests assert this); the
-// simulated clocks provide the execution-time results of Figures 3–6 and
-// Tables 11–12.
+// The quantile phase is the sequential one with r·p total runs.
+//
+// The algorithms (algo.go) are written against the Transport interface and
+// are generic over cmp.Ordered, so the same code serves two machines:
+//
+//   - Run executes on the simulated message-passing machine of
+//     internal/simnet, whose cost model provides the execution-time results
+//     of Figures 3–6 and Tables 11–12. Real data still moves between
+//     goroutines and the resulting bounds are bit-identical to a sequential
+//     OPAQ over the concatenated data (tests assert this).
+//   - BuildSharded executes on the real in-process transport (real.go):
+//     goroutines and channels, no cost model — the production engine for
+//     sharded datasets, whose local phase reuses the concurrent build
+//     pipeline of internal/core.
 package parallel
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"opaq/internal/core"
@@ -40,9 +49,9 @@ type MergeAlgo int
 // The two global merge algorithms the paper evaluates (Figure 3).
 const (
 	// BitonicMerge is the bitonic network with merge-split; requires the
-	// processor count to be a power of two.
+	// rank count to be a power of two.
 	BitonicMerge MergeAlgo = iota
-	// SampleMerge is PSRS-style splitter-based merging; any processor count.
+	// SampleMerge is PSRS-style splitter-based merging; any rank count.
 	SampleMerge
 )
 
@@ -58,7 +67,20 @@ func (a MergeAlgo) String() string {
 	}
 }
 
-// Config parameterizes a parallel OPAQ execution.
+// validMergeAlgo checks algo against the rank count (bitonic needs a power
+// of two).
+func validMergeAlgo(algo MergeAlgo, p int) error {
+	if algo == BitonicMerge && p&(p-1) != 0 {
+		return fmt.Errorf("%w: bitonic merge requires power-of-two ranks, got %d",
+			core.ErrConfig, p)
+	}
+	if algo != BitonicMerge && algo != SampleMerge {
+		return fmt.Errorf("%w: unknown merge algorithm %d", core.ErrConfig, int(algo))
+	}
+	return nil
+}
+
+// Config parameterizes a parallel OPAQ execution on the simulated machine.
 type Config struct {
 	// Core carries m (RunLen) and s (SampleSize) per the sequential phase.
 	Core core.Config
@@ -68,7 +90,7 @@ type Config struct {
 	Merge MergeAlgo
 	// Model is the two-level machine cost model.
 	Model simnet.CostModel
-	// Disk converts per-processor I/O accounting into simulated time.
+	// Disk converts per-rank I/O accounting into simulated time.
 	Disk runio.DiskModel
 	// OverlapIO enables the paper's future-work optimization (Section 4):
 	// reading the next run proceeds concurrently with sampling the current
@@ -86,14 +108,7 @@ func (c Config) Validate() error {
 	if c.Procs < 1 {
 		return fmt.Errorf("%w: Procs must be ≥ 1, got %d", core.ErrConfig, c.Procs)
 	}
-	if c.Merge == BitonicMerge && c.Procs&(c.Procs-1) != 0 {
-		return fmt.Errorf("%w: bitonic merge requires power-of-two processors, got %d",
-			core.ErrConfig, c.Procs)
-	}
-	if c.Merge != BitonicMerge && c.Merge != SampleMerge {
-		return fmt.Errorf("%w: unknown merge algorithm %d", core.ErrConfig, int(c.Merge))
-	}
-	return nil
+	return validMergeAlgo(c.Merge, c.Procs)
 }
 
 // PhaseTimes is the per-phase simulated time breakdown the paper reports in
@@ -118,25 +133,26 @@ func (pt PhaseTimes) Total() time.Duration {
 	return first + pt.LocalMerge + pt.GlobalMerge
 }
 
-// Result of a parallel OPAQ execution.
-type Result struct {
+// Result of a parallel OPAQ execution on the simulated machine.
+type Result[T cmp.Ordered] struct {
 	// Summary is the global summary; its bounds equal the sequential
 	// algorithm's with r·p runs.
-	Summary *core.Summary[int64]
-	// Phases is the per-phase breakdown, taking the maximum over
-	// processors per phase (the paper's convention: phases are separated
-	// by barriers).
+	Summary *core.Summary[T]
+	// Phases is the per-phase breakdown, taking the maximum over ranks per
+	// phase (the paper's convention: phases are separated by barriers).
 	Phases PhaseTimes
-	// PerProc is each processor's own breakdown.
+	// PerProc is each rank's own breakdown.
 	PerProc []PhaseTimes
-	// TotalTime is the parallel execution time (max processor clock).
+	// TotalTime is the parallel execution time (max rank clock).
 	TotalTime time.Duration
 }
 
-// Run executes parallel OPAQ over the per-processor datasets in data
-// (data[i] is processor i's n/p local elements, conceptually resident on
-// its local disk).
-func Run(data [][]int64, cfg Config) (*Result, error) {
+// Run executes parallel OPAQ over the per-rank datasets in data (data[i] is
+// rank i's n/p local elements, conceptually resident on its local disk) on
+// the simulated machine. The cost model counts message words as 8-byte
+// elements regardless of T, so the timing tables are invariant under the
+// element type.
+func Run[T cmp.Ordered](data [][]T, cfg Config) (*Result[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,111 +165,11 @@ func Run(data [][]int64, cfg Config) (*Result, error) {
 	}
 	p := cfg.Procs
 	perProc := make([]PhaseTimes, p)
-	localParts := make([]core.SummaryParts[int64], p) // local sample phase output
-	globalBlocks := make([][]int64, p)                // distributed global sample list
+	localParts := make([]core.SummaryParts[T], p) // local sample phase output
+	globalBlocks := make([][]T, p)                // distributed global sample list
 
 	err = m.Run(func(pr *simnet.Proc) error {
-		id := pr.ID()
-		local := data[id]
-		step := int64(cfg.Core.Step())
-		rng := rand.New(rand.NewSource(cfg.Core.Seed + int64(id)))
-
-		// ---- Phase 1: I/O. The local shard is read once, run by run.
-		// Under OverlapIO the charge is deferred and folded into
-		// max(I/O, sampling) after the sampling phase. ----
-		runs := splitRuns(local, cfg.Core.RunLen)
-		var stats runio.Stats
-		stats.ReadOps = int64(len(runs))
-		stats.BytesRead = int64(len(local)) * 8
-		ioTime := cfg.Disk.Time(stats)
-		perProc[id].IO = ioTime
-		perProc[id].Overlapped = cfg.OverlapIO
-		if !cfg.OverlapIO {
-			pr.Charge(ioTime)
-		}
-
-		// ---- Phase 2: sampling (multi-select per run). ----
-		t0 := pr.Clock()
-		var (
-			sampleLists [][]int64
-			leftover    int64
-			minV, maxV  int64
-		)
-		for ri, run := range runs {
-			for i, v := range run {
-				if ri == 0 && i == 0 {
-					minV, maxV = v, v
-				} else {
-					if v < minV {
-						minV = v
-					}
-					if v > maxV {
-						maxV = v
-					}
-				}
-			}
-			si := len(run) / int(step)
-			leftover += int64(len(run) - si*int(step))
-			if si == 0 {
-				continue
-			}
-			ranks := make([]int, si)
-			for k := 1; k <= si; k++ {
-				ranks[k-1] = k*int(step) - 1
-			}
-			cp := append([]int64(nil), run...)
-			samples, err := selection.MultiSelect(cp, ranks, rng)
-			if err != nil {
-				return err
-			}
-			sampleLists = append(sampleLists, samples)
-			// Cost: O(m·log s) per run (paper, Table 2).
-			pr.Compute(int64(len(run)) * int64(ceilLog2(si+1)))
-		}
-		perProc[id].Sampling = pr.Clock() - t0
-		if cfg.OverlapIO && ioTime > perProc[id].Sampling {
-			// I/O was the longer leg; the processor stalls for the excess.
-			pr.Charge(ioTime - perProc[id].Sampling)
-		}
-
-		// ---- Phase 3: local merge of the r sample lists. ----
-		t0 = pr.Clock()
-		localSamples := merge.KWay(sampleLists)
-		pr.Compute(int64(len(localSamples)) * int64(ceilLog2(len(sampleLists)+1)))
-		perProc[id].LocalMerge = pr.Clock() - t0
-
-		localParts[id] = core.SummaryParts[int64]{
-			Samples:  localSamples,
-			Step:     step,
-			Runs:     int64(len(runs)),
-			N:        int64(len(local)),
-			Leftover: leftover,
-			Min:      minV,
-			Max:      maxV,
-		}
-
-		// ---- Phase 4: global merge of the p sorted sample lists. ----
-		if err := pr.Barrier(); err != nil {
-			return err
-		}
-		t0 = pr.Clock()
-		var block []int64
-		var err error
-		switch cfg.Merge {
-		case BitonicMerge:
-			block, err = bitonicMerge(pr, localSamples)
-		case SampleMerge:
-			block, err = sampleMerge(pr, localSamples)
-		}
-		if err != nil {
-			return err
-		}
-		if err := pr.Barrier(); err != nil {
-			return err
-		}
-		perProc[id].GlobalMerge = pr.Clock() - t0
-		globalBlocks[id] = block
-		return nil
+		return runRank[T](pr, data[pr.ID()], cfg, perProc, localParts, globalBlocks)
 	})
 	if err != nil {
 		return nil, err
@@ -261,52 +177,16 @@ func Run(data [][]int64, cfg Config) (*Result, error) {
 
 	// Assemble the global summary (the quantile phase proper is O(1) per
 	// quantile and charged to no phase, matching the paper's accounting).
-	var all []int64
+	var all []T
 	for _, b := range globalBlocks {
 		all = append(all, b...)
 	}
-	// The bitonic network pads ragged blocks with MaxInt64 sentinels, which
-	// sort to the tail; trimming to the exact expected sample count removes
-	// the pads even if real MaxInt64 keys exist (counts are preserved).
-	expected := 0
-	for i := 0; i < p; i++ {
-		expected += len(localParts[i].Samples)
-	}
-	if len(all) < expected {
-		return nil, fmt.Errorf("parallel: global merge lost samples: %d < %d", len(all), expected)
-	}
-	all = all[:expected]
-	if !merge.IsSorted(all) {
-		return nil, fmt.Errorf("parallel: global merge produced an unsorted sample list")
-	}
-	gp := core.SummaryParts[int64]{Samples: all, Step: int64(cfg.Core.Step())}
-	first := true
-	for i := 0; i < p; i++ {
-		lp := localParts[i]
-		gp.Runs += lp.Runs
-		gp.N += lp.N
-		gp.Leftover += lp.Leftover
-		if lp.N == 0 {
-			continue
-		}
-		if first {
-			gp.Min, gp.Max = lp.Min, lp.Max
-			first = false
-		} else {
-			if lp.Min < gp.Min {
-				gp.Min = lp.Min
-			}
-			if lp.Max > gp.Max {
-				gp.Max = lp.Max
-			}
-		}
-	}
-	sum, err := core.NewSummary(gp)
+	sum, err := core.AssembleShards(localParts, all)
 	if err != nil {
-		return nil, fmt.Errorf("parallel: assembling global summary: %w", err)
+		return nil, fmt.Errorf("parallel: %w", err)
 	}
 
-	res := &Result{
+	res := &Result[T]{
 		Summary:   sum,
 		PerProc:   perProc,
 		TotalTime: m.MaxClock(),
@@ -321,191 +201,100 @@ func Run(data [][]int64, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// splitRuns cuts xs into consecutive runs of m elements (last may be short).
-func splitRuns(xs []int64, m int) [][]int64 {
-	var out [][]int64
-	for len(xs) > 0 {
-		end := m
-		if end > len(xs) {
-			end = len(xs)
-		}
-		out = append(out, xs[:end])
-		xs = xs[end:]
-	}
-	return out
-}
+// runRank is the SPMD body of Run: one rank's local sample phase (with the
+// cost model charged per the paper's Table 2) followed by the global merge.
+// It is written against Transport, so it would execute on any machine; Run
+// instantiates it on the simulator, where Charge/Compute/Clock drive the
+// reported phase times.
+func runRank[T cmp.Ordered](tr Transport, local []T, cfg Config,
+	perProc []PhaseTimes, localParts []core.SummaryParts[T], globalBlocks [][]T) error {
+	id := tr.ID()
+	step := int64(cfg.Core.Step())
+	rng := rand.New(rand.NewSource(cfg.Core.Seed + int64(id)))
 
-// bitonicMerge runs the bitonic sorting network over the p sorted blocks,
-// one block per processor, with compare-exchange replaced by merge-split.
-// Requires equal block sizes; blocks are padded to the global maximum with
-// +Inf sentinels and unpadded at the end. Returns this processor's block of
-// the globally sorted list.
-func bitonicMerge(pr *simnet.Proc, local []int64) ([]int64, error) {
-	p := pr.P()
-	if p == 1 {
-		return local, nil
+	// ---- Phase 1: I/O. The local shard is read once, run by run. Under
+	// OverlapIO the charge is deferred and folded into max(I/O, sampling)
+	// after the sampling phase. ----
+	runs := splitRuns(local, cfg.Core.RunLen)
+	var stats runio.Stats
+	stats.ReadOps = int64(len(runs))
+	stats.BytesRead = int64(len(local)) * 8 // cost-model words are 8-byte elements
+	ioTime := cfg.Disk.Time(stats)
+	perProc[id].IO = ioTime
+	perProc[id].Overlapped = cfg.OverlapIO
+	if !cfg.OverlapIO {
+		tr.Charge(ioTime)
 	}
-	// Agree on a common block size (ragged shards make sizes differ).
-	sizes, err := pr.AllGather(1, len(local))
-	if err != nil {
-		return nil, err
-	}
-	blockLen := 0
-	for _, s := range sizes {
-		if s.(int) > blockLen {
-			blockLen = s.(int)
-		}
-	}
-	const pad = int64(^uint64(0) >> 1) // MaxInt64 sentinel; sorts last
-	block := make([]int64, blockLen)
-	copy(block, local)
-	for i := len(local); i < blockLen; i++ {
-		block[i] = pad
-	}
-	id := pr.ID()
-	// Bitonic sorting network on p keys, operating on blocks.
-	for k := 2; k <= p; k <<= 1 {
-		for j := k >> 1; j > 0; j >>= 1 {
-			partner := id ^ j
-			ascending := id&k == 0
-			keepLow := (id < partner) == ascending
-			got, err := pr.Exchange(partner, int64(blockLen), block)
-			if err != nil {
-				return nil, err
-			}
-			other := got.([]int64)
-			block = mergeSplit(block, other, keepLow)
-			// Merge-split cost: one pass over both blocks.
-			pr.Compute(int64(2 * blockLen))
-		}
-	}
-	// Pad sentinels are stripped by the caller, which knows the exact
-	// global sample count (they sort to the very end of the global list).
-	return block, nil
-}
 
-// mergeSplit merges two sorted blocks of equal length and returns the low
-// or high half.
-func mergeSplit(a, b []int64, keepLow bool) []int64 {
-	n := len(a)
-	out := make([]int64, n)
-	if keepLow {
-		i, j := 0, 0
-		for k := 0; k < n; k++ {
-			if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
-				out[k] = a[i]
-				i++
+	// ---- Phase 2: sampling (multi-select per run). ----
+	t0 := tr.Clock()
+	var (
+		sampleLists [][]T
+		leftover    int64
+		minV, maxV  T
+	)
+	for ri, run := range runs {
+		for i, v := range run {
+			if ri == 0 && i == 0 {
+				minV, maxV = v, v
 			} else {
-				out[k] = b[j]
-				j++
+				minV = min(minV, v)
+				maxV = max(maxV, v)
 			}
 		}
-		return out
-	}
-	i, j := len(a)-1, len(b)-1
-	for k := n - 1; k >= 0; k-- {
-		if j < 0 || (i >= 0 && a[i] > b[j]) {
-			out[k] = a[i]
-			i--
-		} else {
-			out[k] = b[j]
-			j--
+		si := len(run) / int(step)
+		leftover += int64(len(run) - si*int(step))
+		if si == 0 {
+			continue
 		}
-	}
-	return out
-}
-
-// sampleMerge merges the p sorted lists by regular sampling (PSRS without
-// the local sort): gather p regular samples per processor, derive p−1
-// splitters, partition each local list, all-to-all exchange, local k-way
-// merge. Returns this processor's block of the globally sorted list
-// (blocks are splitter-delimited, so sizes vary within the paper's bucket
-// expansion bound β ≤ 3/2 in expectation).
-func sampleMerge(pr *simnet.Proc, local []int64) ([]int64, error) {
-	p := pr.P()
-	if p == 1 {
-		return local, nil
-	}
-	// Regular sample of p points from the local sorted list.
-	probe := make([]int64, 0, p)
-	for i := 1; i <= p; i++ {
-		idx := i*len(local)/p - 1
-		if idx < 0 {
-			idx = 0
+		ranks := make([]int, si)
+		for k := 1; k <= si; k++ {
+			ranks[k-1] = k*int(step) - 1
 		}
-		if len(local) > 0 {
-			probe = append(probe, local[idx])
-		}
-	}
-	gathered, err := pr.AllGather(int64(len(probe)), probe)
-	if err != nil {
-		return nil, err
-	}
-	var allProbes []int64
-	for _, g := range gathered {
-		allProbes = append(allProbes, g.([]int64)...)
-	}
-	sort.Slice(allProbes, func(i, j int) bool { return allProbes[i] < allProbes[j] })
-	pr.Compute(int64(len(allProbes)) * int64(ceilLog2(len(allProbes)+1))) // splitter sort
-	// p−1 splitters at regular positions.
-	splitters := make([]int64, 0, p-1)
-	for i := 1; i < p; i++ {
-		idx := i * len(allProbes) / p
-		if idx >= len(allProbes) {
-			idx = len(allProbes) - 1
-		}
-		splitters = append(splitters, allProbes[idx])
-	}
-	// Partition the local sorted list by splitters (binary search).
-	cuts := make([]int, 0, p+1)
-	cuts = append(cuts, 0)
-	for _, sp := range splitters {
-		cuts = append(cuts, sort.Search(len(local), func(i int) bool { return local[i] > sp }))
-	}
-	cuts = append(cuts, len(local))
-	for i := 1; i < len(cuts); i++ {
-		if cuts[i] < cuts[i-1] {
-			cuts[i] = cuts[i-1]
-		}
-	}
-	pr.Compute(int64(p) * int64(ceilLog2(len(local)+1)))
-	// All-to-all: send partition j to processor j.
-	id := pr.ID()
-	pieces := make([][]int64, p)
-	pieces[id] = local[cuts[id]:cuts[id+1]]
-	for off := 1; off < p; off++ {
-		to := (id + off) % p
-		part := local[cuts[to]:cuts[to+1]]
-		if err := pr.Send(to, int64(len(part)), part); err != nil {
-			return nil, err
-		}
-	}
-	for off := 1; off < p; off++ {
-		from := (id - off + p) % p
-		got, err := pr.Recv(from)
+		cp := append([]T(nil), run...)
+		samples, err := selection.MultiSelect(cp, ranks, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pieces[from] = got.([]int64)
+		sampleLists = append(sampleLists, samples)
+		// Cost: O(m·log s) per run (paper, Table 2).
+		tr.Compute(int64(len(run)) * int64(ceilLog2(si+1)))
 	}
-	// Local k-way merge of the received sorted pieces.
-	out := merge.KWay(pieces)
-	pr.Compute(int64(len(out)) * int64(ceilLog2(p+1)))
-	return out, nil
-}
+	perProc[id].Sampling = tr.Clock() - t0
+	if cfg.OverlapIO && ioTime > perProc[id].Sampling {
+		// I/O was the longer leg; the rank stalls for the excess.
+		tr.Charge(ioTime - perProc[id].Sampling)
+	}
 
-func ceilLog2(n int) int {
-	l, v := 0, 1
-	for v < n {
-		v <<= 1
-		l++
-	}
-	return l
-}
+	// ---- Phase 3: local merge of the r sample lists. ----
+	t0 = tr.Clock()
+	localSamples := merge.KWay(sampleLists)
+	tr.Compute(int64(len(localSamples)) * int64(ceilLog2(len(sampleLists)+1)))
+	perProc[id].LocalMerge = tr.Clock() - t0
 
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
+	localParts[id] = core.SummaryParts[T]{
+		Samples:  localSamples,
+		Step:     step,
+		Runs:     int64(len(runs)),
+		N:        int64(len(local)),
+		Leftover: leftover,
+		Min:      minV,
+		Max:      maxV,
 	}
-	return b
+
+	// ---- Phase 4: global merge of the p sorted sample lists. ----
+	if err := tr.Barrier(); err != nil {
+		return err
+	}
+	t0 = tr.Clock()
+	block, err := globalMerge(tr, cfg.Merge, localSamples)
+	if err != nil {
+		return err
+	}
+	if err := tr.Barrier(); err != nil {
+		return err
+	}
+	perProc[id].GlobalMerge = tr.Clock() - t0
+	globalBlocks[id] = block
+	return nil
 }

@@ -227,20 +227,6 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
-func TestMergeSplit(t *testing.T) {
-	a := []int64{1, 3, 5, 7}
-	b := []int64{2, 4, 6, 8}
-	low := mergeSplit(a, b, true)
-	high := mergeSplit(a, b, false)
-	wantLow := []int64{1, 2, 3, 4}
-	wantHigh := []int64{5, 6, 7, 8}
-	for i := range wantLow {
-		if low[i] != wantLow[i] || high[i] != wantHigh[i] {
-			t.Fatalf("mergeSplit: low=%v high=%v", low, high)
-		}
-	}
-}
-
 // Property: for random data, shard counts and both algorithms, the global
 // sample list equals the sequential one.
 func TestQuickParallelEquivalence(t *testing.T) {

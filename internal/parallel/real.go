@@ -1,0 +1,236 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// realMachine is the in-process Transport implementation: p rank goroutines
+// connected by Go channels, with no cost model. It mirrors simnet.Machine's
+// SPMD shape (Run launches one goroutine per rank) so algorithms written
+// against Transport run unchanged, but the only time that passes is
+// wall-clock time — this is the transport production sharded builds use.
+//
+// Unlike the simulator, a failed rank must not strand its peers on a
+// blocking Recv or Barrier, so the machine carries an abort channel that
+// every blocking primitive selects on; the first error or panic releases
+// everyone.
+type realMachine struct {
+	p int
+	// chans[from][to]; buffered so symmetric exchange patterns (both
+	// partners send, then both receive) cannot deadlock.
+	chans [][]chan any
+	abort chan struct{}
+	once  sync.Once
+
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	barCount int
+	barGen   int
+}
+
+func newRealMachine(p int) (*realMachine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("parallel: need at least one rank, got %d", p)
+	}
+	m := &realMachine{p: p, abort: make(chan struct{})}
+	m.barCond = sync.NewCond(&m.barMu)
+	m.chans = make([][]chan any, p)
+	for i := range m.chans {
+		m.chans[i] = make([]chan any, p)
+		for j := range m.chans[i] {
+			m.chans[i][j] = make(chan any, 8)
+		}
+	}
+	return m, nil
+}
+
+// fail releases every rank blocked in Recv or Barrier; first caller wins.
+// The broadcast happens under barMu so a rank between its abort check and
+// cond.Wait inside Barrier cannot miss the wakeup.
+func (m *realMachine) fail() {
+	m.once.Do(func() {
+		m.barMu.Lock()
+		close(m.abort)
+		m.barCond.Broadcast()
+		m.barMu.Unlock()
+	})
+}
+
+var errAborted = errors.New("parallel: rank aborted (peer failed)")
+
+// Run executes f as an SPMD program, one goroutine per rank, and returns
+// the first error any rank produced (joined). A rank that errors or panics
+// aborts the machine so the remaining ranks unblock and drain.
+func (m *realMachine) Run(f func(tr Transport) error) error {
+	errs := make([]error, m.p)
+	var wg sync.WaitGroup
+	for i := 0; i < m.p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("parallel: rank %d panicked: %v", i, r)
+					m.fail()
+				}
+			}()
+			errs[i] = f(&realProc{id: i, m: m})
+			if errs[i] != nil {
+				m.fail()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Aborted ranks report errAborted; surface only the root causes unless
+	// nothing else explains the failure.
+	var roots []error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			roots = append(roots, err)
+		}
+	}
+	if len(roots) > 0 {
+		return errors.Join(roots...)
+	}
+	return errors.Join(errs...)
+}
+
+// realProc is one rank of a realMachine.
+type realProc struct {
+	id int
+	m  *realMachine
+}
+
+// ID implements Transport.
+func (p *realProc) ID() int { return p.id }
+
+// P implements Transport.
+func (p *realProc) P() int { return p.m.p }
+
+// Compute implements Transport; the real machine has no cost model.
+func (p *realProc) Compute(int64) {}
+
+// Charge implements Transport; the real machine has no cost model.
+func (p *realProc) Charge(time.Duration) {}
+
+// Clock implements Transport; real time is wall-clock time, measured by the
+// caller, so the modeled clock is always zero.
+func (p *realProc) Clock() time.Duration { return 0 }
+
+// Send implements Transport. words is ignored (no cost model).
+func (p *realProc) Send(to int, _ int64, payload any) error {
+	if to < 0 || to >= p.m.p {
+		return fmt.Errorf("parallel: send to rank %d of %d", to, p.m.p)
+	}
+	if to == p.id {
+		return fmt.Errorf("parallel: self-send on rank %d", p.id)
+	}
+	select {
+	case p.m.chans[p.id][to] <- payload:
+		return nil
+	case <-p.m.abort:
+		return errAborted
+	}
+}
+
+// Recv implements Transport.
+func (p *realProc) Recv(from int) (any, error) {
+	if from < 0 || from >= p.m.p {
+		return nil, fmt.Errorf("parallel: recv from rank %d of %d", from, p.m.p)
+	}
+	if from == p.id {
+		return nil, fmt.Errorf("parallel: self-recv on rank %d", p.id)
+	}
+	select {
+	case v := <-p.m.chans[from][p.id]:
+		return v, nil
+	case <-p.m.abort:
+		// Drain a message that raced with the abort so a successful sender
+		// is not misreported; the abort error still stands.
+		select {
+		case v := <-p.m.chans[from][p.id]:
+			return v, nil
+		default:
+			return nil, errAborted
+		}
+	}
+}
+
+// Exchange implements Transport.
+func (p *realProc) Exchange(partner int, words int64, payload any) (any, error) {
+	if err := p.Send(partner, words, payload); err != nil {
+		return nil, err
+	}
+	return p.Recv(partner)
+}
+
+// Barrier implements Transport: a reusable counting barrier that aborts
+// cleanly when a peer fails.
+func (p *realProc) Barrier() error {
+	m := p.m
+	m.barMu.Lock()
+	defer m.barMu.Unlock()
+	if aborted(m.abort) {
+		return errAborted
+	}
+	m.barCount++
+	gen := m.barGen
+	if m.barCount == m.p {
+		m.barCount = 0
+		m.barGen++
+		m.barCond.Broadcast()
+		return nil
+	}
+	for gen == m.barGen && !aborted(m.abort) {
+		m.barCond.Wait()
+	}
+	if gen == m.barGen && aborted(m.abort) {
+		return errAborted
+	}
+	return nil
+}
+
+// AllGather implements Transport with the same deterministic shape as the
+// simulator: every rank sends to rank 0, which re-broadcasts the vector.
+func (p *realProc) AllGather(words int64, payload any) ([]any, error) {
+	if p.m.p == 1 {
+		return []any{payload}, nil
+	}
+	if p.id != 0 {
+		if err := p.Send(0, words, payload); err != nil {
+			return nil, err
+		}
+		v, err := p.Recv(0)
+		if err != nil {
+			return nil, err
+		}
+		return v.([]any), nil
+	}
+	all := make([]any, p.m.p)
+	all[0] = payload
+	for r := 1; r < p.m.p; r++ {
+		v, err := p.Recv(r)
+		if err != nil {
+			return nil, err
+		}
+		all[r] = v
+	}
+	for r := 1; r < p.m.p; r++ {
+		if err := p.Send(r, words*int64(p.m.p), all); err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+func aborted(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,300 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/runio"
+	"opaq/internal/simnet"
+)
+
+// summaryBytes serializes a summary so tests can assert byte-identity.
+func summaryBytes[T interface{ int64 | float64 }](t *testing.T, sum *core.Summary[T]) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	switch s := any(sum).(type) {
+	case *core.Summary[int64]:
+		err = core.SaveSummary(&buf, s, runio.Int64Codec{})
+	case *core.Summary[float64]:
+		err = core.SaveSummary(&buf, s, runio.Float64Codec{})
+	}
+	if err != nil {
+		t.Fatalf("serializing summary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func shardDatasets(xs []int64, shards, runLen int, t *testing.T) []runio.Dataset[int64] {
+	t.Helper()
+	pieces, err := ShardSlices(xs, shards, runLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]runio.Dataset[int64], len(pieces))
+	for i, p := range pieces {
+		out[i] = runio.NewMemoryDataset(p, 8)
+	}
+	return out
+}
+
+// The engine's determinism contract: the summary bytes are identical across
+// shard counts 1/2/3/8, both merge algorithms, and both transports (the
+// real in-process engine via BuildSharded and the simulated machine via
+// Run), always matching the sequential build over the concatenated data.
+func TestShardDeterminismAcrossCountsAlgosTransports(t *testing.T) {
+	const runLen, sampleSize = 500, 50
+	cfg := core.Config{RunLen: runLen, SampleSize: sampleSize, Seed: 42}
+	xs := datagen.Generate(datagen.NewUniform(9, 1<<48), 24*runLen)
+
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryBytes(t, seq)
+
+	for _, algo := range []MergeAlgo{BitonicMerge, SampleMerge} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			if algo == BitonicMerge && shards&(shards-1) != 0 {
+				continue // bitonic requires a power of two; validated below
+			}
+			name := fmt.Sprintf("%v/shards=%d", algo, shards)
+
+			// Real transport.
+			got, err := BuildSharded(shardDatasets(xs, shards, runLen, t), cfg,
+				ShardOptions{Shards: shards, Merge: algo})
+			if err != nil {
+				t.Fatalf("%s: BuildSharded: %v", name, err)
+			}
+			if !bytes.Equal(summaryBytes(t, got), want) {
+				t.Errorf("%s: real-transport summary bytes differ from sequential build", name)
+			}
+
+			// Simulated transport over the same run-aligned shards.
+			pieces, err := ShardSlices(xs, shards, runLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(pieces, Config{
+				Core: cfg, Procs: shards, Merge: algo,
+				Model: simnet.DefaultCostModel(), Disk: runio.DefaultDiskModel(),
+			})
+			if err != nil {
+				t.Fatalf("%s: simulated Run: %v", name, err)
+			}
+			if !bytes.Equal(summaryBytes(t, res.Summary), want) {
+				t.Errorf("%s: simulated-transport summary bytes differ from sequential build", name)
+			}
+		}
+	}
+}
+
+// The engine is generic: float64 keys through both merge algorithms,
+// including the bitonic pad path (pads are the global max sample, not an
+// int64 sentinel).
+func TestBuildShardedFloat64(t *testing.T) {
+	const runLen = 256
+	cfg := core.Config{RunLen: runLen, SampleSize: 32}
+	xs := make([]float64, 16*runLen)
+	g := datagen.NewNormal(5, 0, 1e6)
+	for i := range xs {
+		xs[i] = float64(g.Next()) / 1e3
+	}
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryBytes(t, seq)
+	for _, algo := range []MergeAlgo{BitonicMerge, SampleMerge} {
+		pieces, err := ShardSlices(xs, 4, runLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets := make([]runio.Dataset[float64], len(pieces))
+		for i, p := range pieces {
+			datasets[i] = runio.NewMemoryDataset(p, 8)
+		}
+		got, err := BuildSharded(datasets, cfg, ShardOptions{Merge: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !bytes.Equal(summaryBytes(t, got), want) {
+			t.Errorf("%v: float64 sharded summary differs from sequential", algo)
+		}
+	}
+}
+
+// Keys equal to the bitonic pad value (the global max) must survive the
+// merge: duplicates of the maximum across ragged shards are the worst case
+// for sentinel-style padding.
+func TestBuildShardedMaxDuplicates(t *testing.T) {
+	const runLen = 100
+	cfg := core.Config{RunLen: runLen, SampleSize: 10}
+	xs := make([]int64, 8*runLen)
+	for i := range xs {
+		if i%3 == 0 {
+			xs[i] = math.MaxInt64 // ties with any pad sentinel scheme
+		} else {
+			xs[i] = int64(i)
+		}
+	}
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryBytes(t, seq)
+	got, err := BuildSharded(shardDatasets(xs, 4, runLen, t), cfg,
+		ShardOptions{Merge: BitonicMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryBytes(t, got), want) {
+		t.Error("summary with MaxInt64 duplicates differs from sequential build")
+	}
+}
+
+// Ragged tails: a last shard that is not run-aligned still matches the
+// sequential build (interior shards are aligned by ShardSlices).
+func TestBuildShardedRaggedTail(t *testing.T) {
+	const runLen = 200
+	cfg := core.Config{RunLen: runLen, SampleSize: 20}
+	xs := datagen.Generate(datagen.NewUniform(3, 1<<40), 7*runLen+123)
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryBytes(t, seq)
+	got, err := BuildSharded(shardDatasets(xs, 3, runLen, t), cfg,
+		ShardOptions{Merge: SampleMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryBytes(t, got), want) {
+		t.Error("ragged-tail sharded summary differs from sequential build")
+	}
+}
+
+func TestBuildShardedMoreShardsThanRuns(t *testing.T) {
+	const runLen = 100
+	cfg := core.Config{RunLen: runLen, SampleSize: 10}
+	xs := datagen.Generate(datagen.NewUniform(7, 1<<30), 2*runLen)
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildSharded(shardDatasets(xs, 8, runLen, t), cfg,
+		ShardOptions{Merge: BitonicMerge}) // trailing shards are empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryBytes(t, got), summaryBytes(t, seq)) {
+		t.Error("mostly-empty shards differ from sequential build")
+	}
+}
+
+func TestBuildShardedValidation(t *testing.T) {
+	cfg := core.Config{RunLen: 100, SampleSize: 10}
+	ds := []runio.Dataset[int64]{
+		runio.NewMemoryDataset([]int64{1, 2, 3}, 8),
+		runio.NewMemoryDataset([]int64{4, 5, 6}, 8),
+		runio.NewMemoryDataset([]int64{7, 8, 9}, 8),
+	}
+	if _, err := BuildSharded(ds, cfg, ShardOptions{Merge: BitonicMerge}); !errors.Is(err, core.ErrConfig) {
+		t.Errorf("bitonic with 3 shards: err = %v, want ErrConfig", err)
+	}
+	if _, err := BuildSharded(ds, cfg, ShardOptions{Shards: 2}); !errors.Is(err, core.ErrConfig) {
+		t.Errorf("shard/dataset mismatch: err = %v, want ErrConfig", err)
+	}
+	if _, err := BuildSharded[int64](nil, cfg, ShardOptions{}); !errors.Is(err, core.ErrConfig) {
+		t.Errorf("no datasets: err = %v, want ErrConfig", err)
+	}
+	if _, err := BuildSharded(ds, core.Config{}, ShardOptions{}); !errors.Is(err, core.ErrConfig) {
+		t.Errorf("bad core config: err = %v, want ErrConfig", err)
+	}
+}
+
+// A failing shard must abort the whole machine promptly instead of
+// deadlocking the peers at the merge barrier.
+func TestBuildShardedLocalError(t *testing.T) {
+	cfg := core.Config{RunLen: 100, SampleSize: 10}
+	good := datagen.Generate(datagen.NewUniform(1, 1000), 300)
+	ds := []runio.Dataset[int64]{
+		runio.NewMemoryDataset(good, 8),
+		&failingDataset{},
+	}
+	_, err := BuildSharded(ds, cfg, ShardOptions{Merge: SampleMerge})
+	if err == nil {
+		t.Fatal("expected an error from the failing shard")
+	}
+}
+
+// failingDataset errors on scan, standing in for a broken run file.
+type failingDataset struct{}
+
+func (d *failingDataset) Count() int64       { return 100 }
+func (d *failingDataset) Stats() runio.Stats { return runio.Stats{} }
+func (d *failingDataset) Runs(m int) (runio.RunReader[int64], error) {
+	return nil, errors.New("shard disk on fire")
+}
+
+func TestShardSlices(t *testing.T) {
+	xs := make([]int64, 1050)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	pieces, err := ShardSlices(xs, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces) != 3 {
+		t.Fatalf("got %d pieces", len(pieces))
+	}
+	total := 0
+	for i, p := range pieces {
+		if i < len(pieces)-1 && len(p)%100 != 0 {
+			t.Errorf("interior shard %d has ragged length %d", i, len(p))
+		}
+		if total > 0 && len(p) > 0 && p[0] != int64(total) {
+			t.Errorf("shard %d not contiguous: starts at %d, want %d", i, p[0], total)
+		}
+		total += len(p)
+	}
+	if total != len(xs) {
+		t.Errorf("shards cover %d of %d elements", total, len(xs))
+	}
+	if _, err := ShardSlices(xs, 0, 100); err == nil {
+		t.Error("0 shards should fail")
+	}
+	if _, err := ShardSlices(xs, 2, 0); err == nil {
+		t.Error("0 run length should fail")
+	}
+}
+
+// Shards whose runs are all shorter than one sub-run contribute zero
+// samples; the global merge must handle the all-empty sample lists instead
+// of panicking (regression: sampleMerge indexed an empty splitter list).
+func TestBuildShardedZeroSamples(t *testing.T) {
+	cfg := core.Config{RunLen: 1 << 16, SampleSize: 1 << 10}
+	xs := datagen.Generate(datagen.NewUniform(3, 1000), 50) // one tiny run per shard
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []MergeAlgo{BitonicMerge, SampleMerge} {
+		got, err := BuildSharded(shardDatasets(xs, 2, 1<<16, t), cfg, ShardOptions{Merge: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if got.N() != seq.N() || got.SampleCount() != 0 {
+			t.Errorf("%v: N=%d samples=%d, want N=%d samples=0", algo, got.N(), got.SampleCount(), seq.N())
+		}
+		if got.Min() != seq.Min() || got.Max() != seq.Max() {
+			t.Errorf("%v: extrema [%d,%d] vs sequential [%d,%d]", algo, got.Min(), got.Max(), seq.Min(), seq.Max())
+		}
+	}
+}

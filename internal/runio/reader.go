@@ -137,7 +137,8 @@ func (d *FileDataset[T]) Runs(m int) (RunReader[T], error) {
 	return &fileRunReader[T]{
 		f:     f,
 		br:    bufio.NewReaderSize(f, 1<<20),
-		d:     d,
+		stats: &d.stats,
+		count: int64(d.hdr.count),
 		m:     m,
 		left:  int64(d.hdr.count),
 		ebuf:  make([]byte, m*d.codec.Size()),
@@ -174,7 +175,8 @@ func (d *FileDataset[T]) Verify() error {
 type fileRunReader[T any] struct {
 	f     *os.File
 	br    *bufio.Reader
-	d     *FileDataset[T]
+	stats *Stats // accounting sink (the owning dataset or section)
+	count int64  // total elements this scan delivers
 	m     int
 	left  int64
 	ebuf  []byte
@@ -207,8 +209,8 @@ func (r *fileRunReader[T]) NextRun() ([]T, error) {
 		run[i] = r.codec.Decode(r.ebuf[i*sz:])
 	}
 	r.left -= int64(n)
-	r.d.stats.ReadOps++
-	r.d.stats.BytesRead += int64(want)
+	r.stats.ReadOps++
+	r.stats.BytesRead += int64(want)
 	if r.left == 0 {
 		r.done = true
 		r.f.Close()
@@ -217,7 +219,7 @@ func (r *fileRunReader[T]) NextRun() ([]T, error) {
 }
 
 // Count implements RunReader.
-func (r *fileRunReader[T]) Count() int64 { return int64(r.d.hdr.count) }
+func (r *fileRunReader[T]) Count() int64 { return r.count }
 
 // RunLen implements RunReader.
 func (r *fileRunReader[T]) RunLen() int { return r.m }

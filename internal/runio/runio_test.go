@@ -522,3 +522,86 @@ func TestCodecKindsDistinct(t *testing.T) {
 		}
 	}
 }
+
+// File sections: run-aligned ranges over one file behave like independent
+// datasets and reproduce the file's elements exactly.
+func TestFileSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sec.run")
+	const n, runLen = 1050, 100
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i * 3)
+	}
+	if err := WriteFile(path, Int64Codec{}, xs); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := OpenFile(path, Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, err := fd.Sections(3, runLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for i, s := range sections {
+		if i < len(sections)-1 && s.Count()%runLen != 0 {
+			t.Errorf("interior section %d has ragged count %d", i, s.Count())
+		}
+		vals, err := ReadAll[int64](s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(vals)) != s.Count() {
+			t.Errorf("section %d delivered %d of %d elements", i, len(vals), s.Count())
+		}
+		got = append(got, vals...)
+	}
+	if len(got) != n {
+		t.Fatalf("sections cover %d of %d elements", len(got), n)
+	}
+	for i := range got {
+		if got[i] != xs[i] {
+			t.Fatalf("element %d: got %d, want %d", i, got[i], xs[i])
+		}
+	}
+	// Sections are rescannable and account their own I/O.
+	if _, err := ReadAll[int64](sections[1]); err != nil {
+		t.Fatal(err)
+	}
+	if st := sections[1].Stats(); st.ReadOps == 0 || st.BytesRead == 0 {
+		t.Errorf("section stats not accounted: %+v", st)
+	}
+	if _, err := fd.Section(-1, 5); err == nil {
+		t.Error("negative start should fail")
+	}
+	if _, err := fd.Section(0, n+1); err == nil {
+		t.Error("end past count should fail")
+	}
+}
+
+func TestShardRanges(t *testing.T) {
+	ranges, err := ShardRanges(1050, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 3 || ranges[0][0] != 0 || ranges[len(ranges)-1][1] != 1050 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	prev := int64(0)
+	for i, r := range ranges {
+		if r[0] != prev {
+			t.Errorf("range %d not contiguous: %v", i, ranges)
+		}
+		if i < len(ranges)-1 && (r[1]-r[0])%100 != 0 {
+			t.Errorf("interior range %d not run-aligned: %v", i, r)
+		}
+		prev = r[1]
+	}
+	if _, err := ShardRanges(10, 0, 100); err == nil {
+		t.Error("0 shards should fail")
+	}
+	if _, err := ShardRanges(10, 2, 0); err == nil {
+		t.Error("0 runLen should fail")
+	}
+}

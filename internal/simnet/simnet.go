@@ -13,6 +13,11 @@
 // model, so algorithms are executed for real (results are checked by
 // tests) while their reported times are the model's. The parallel time of
 // a run is the maximum clock over processors.
+//
+// Proc is the simulated implementation of internal/parallel's Transport
+// interface — the parallel algorithms are written against that interface
+// and this machine supplies their cost accounting; the sibling real
+// in-process transport runs the same algorithms with no cost model.
 package simnet
 
 import (
@@ -58,6 +63,18 @@ type Machine struct {
 	chans [][]chan message
 	bar   *barrier
 	procs []*Proc
+	// abort releases processors blocked in Send/Recv when a peer fails
+	// (the barrier has its own abort); closed at most once.
+	abort    chan struct{}
+	failOnce sync.Once
+}
+
+// fail releases every blocked primitive after a processor panicked or
+// returned an error: peers otherwise deadlock waiting for messages or
+// barrier arrivals that will never come.
+func (m *Machine) fail() {
+	m.failOnce.Do(func() { close(m.abort) })
+	m.bar.abort()
 }
 
 type message struct {
@@ -70,7 +87,7 @@ func NewMachine(p int, model CostModel) (*Machine, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("simnet: need at least one processor, got %d", p)
 	}
-	m := &Machine{p: p, model: model, bar: newBarrier(p)}
+	m := &Machine{p: p, model: model, bar: newBarrier(p), abort: make(chan struct{})}
 	m.chans = make([][]chan message, p)
 	for i := range m.chans {
 		m.chans[i] = make([]chan message, p)
@@ -99,10 +116,16 @@ func (m *Machine) Run(f func(p *Proc) error) error {
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("simnet: processor %d panicked: %v", i, r)
-					m.bar.abort()
+					m.fail()
 				}
 			}()
 			errs[i] = f(m.procs[i])
+			if errs[i] != nil {
+				// A processor that exits with an error never sends the
+				// messages or reaches the barriers its peers wait on;
+				// release them.
+				m.fail()
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -175,8 +198,12 @@ func (p *Proc) Send(to int, words int64, payload any) error {
 	}
 	cost := p.m.model.Tau + time.Duration(words)*p.m.model.Mu
 	p.clock += cost
-	p.m.chans[p.id][to] <- message{payload: payload, arrival: p.clock}
-	return nil
+	select {
+	case p.m.chans[p.id][to] <- message{payload: payload, arrival: p.clock}:
+		return nil
+	case <-p.m.abort:
+		return errors.New("simnet: send aborted (peer failed)")
+	}
 }
 
 // Recv blocks for the next message from processor from and advances the
@@ -188,7 +215,18 @@ func (p *Proc) Recv(from int) (any, error) {
 	if from == p.id {
 		return nil, fmt.Errorf("simnet: self-recv on rank %d", p.id)
 	}
-	msg := <-p.m.chans[from][p.id]
+	var msg message
+	select {
+	case msg = <-p.m.chans[from][p.id]:
+	case <-p.m.abort:
+		// Prefer a message that raced with the abort so a completed send
+		// is not misreported; the machine is failing either way.
+		select {
+		case msg = <-p.m.chans[from][p.id]:
+		default:
+			return nil, errors.New("simnet: receive aborted (peer failed)")
+		}
+	}
 	if msg.arrival > p.clock {
 		p.clock = msg.arrival
 	}
@@ -280,7 +318,7 @@ func (b *barrier) wait(clock time.Duration) (time.Duration, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.aborted {
-		return 0, errors.New("simnet: barrier aborted (peer panicked)")
+		return 0, errAborted
 	}
 	if clock > b.max {
 		b.max = clock
@@ -298,11 +336,17 @@ func (b *barrier) wait(clock time.Duration) (time.Duration, error) {
 	for gen == b.gen && !b.aborted {
 		b.cond.Wait()
 	}
-	if b.aborted {
-		return 0, errors.New("simnet: barrier aborted (peer panicked)")
+	// Only a barrier whose own generation never completed was aborted; a
+	// generation that finished before the abort landed succeeded for real.
+	if gen == b.gen && b.aborted {
+		return 0, errAborted
 	}
 	return b.result, nil
 }
+
+// errAborted reports a barrier released because a peer panicked or
+// returned an error before arriving.
+var errAborted = errors.New("simnet: barrier aborted (peer failed)")
 
 // abort releases all waiters with an error; called when a peer panics so
 // Run does not deadlock.

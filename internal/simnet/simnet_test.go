@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -309,5 +310,60 @@ func TestClockMonotoneUnderRandomTraffic(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A rank whose barrier generation completed before a later abort landed
+// must not see a spurious abort error.
+func TestBarrierCompletedGenerationSurvivesAbort(t *testing.T) {
+	m, err := NewMachine(2, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBarrier := make([]error, 2)
+	err = m.Run(func(p *Proc) error {
+		firstBarrier[p.ID()] = p.Barrier() // completes for both ranks
+		if p.ID() == 1 {
+			return errors.New("rank 1 fails after the barrier")
+		}
+		// Rank 0 heads into a second barrier that rank 1 never reaches;
+		// the abort must release it (with an error) instead of deadlocking.
+		p.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("machine should surface rank 1's error")
+	}
+	for i, e := range firstBarrier {
+		if e != nil {
+			t.Errorf("rank %d's completed barrier reported %v", i, e)
+		}
+	}
+}
+
+// A processor panicking while its partner is blocked mid-exchange must
+// release the partner's Recv (and any pending Send), not deadlock Run.
+func TestPeerFailureReleasesRecv(t *testing.T) {
+	m, err := NewMachine(2, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) error {
+			if p.ID() == 1 {
+				panic("rank 1 dies before sending")
+			}
+			_, err := p.Recv(1) // would block forever without message abort
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run should surface the panic and the aborted receive")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked: peer failure did not release Recv")
 	}
 }

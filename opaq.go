@@ -39,6 +39,17 @@
 // Uint64Codec and the 32-bit variants are provided, and the OpenInt64File
 // / SaveSummaryInt64-style helpers remain as thin wrappers.
 //
+// # Sharded builds
+//
+// BuildSharded scales the build across per-shard datasets: each shard
+// runs the full local sample phase concurrently and the per-shard sample
+// lists are globally merged by the paper's Section 3 parallel formulation
+// (PSRS-style sample merge, or a bitonic merge-split network). With
+// run-aligned shards the result is bit-identical to a sequential Build
+// over the concatenated data. ParallelRun executes the same algorithms on
+// the simulated machine of the paper's evaluation instead, reporting
+// modeled phase times.
+//
 // The subpackages under internal are the implementation; this package is
 // the supported surface.
 package opaq
@@ -143,6 +154,12 @@ func PlanConfig(n, memElems int64, q int) (Plan, error) {
 // modeled on-disk element width in bytes (8 for int64/float64).
 func NewMemoryDataset[T any](xs []T, elemSize int) Dataset[T] {
 	return runio.NewMemoryDataset(xs, elemSize)
+}
+
+// ReadAll materializes a whole dataset in memory (one sequential scan).
+// Intended for moderate inputs; the build entry points never need it.
+func ReadAll[T any](ds Dataset[T]) ([]T, error) {
+	return runio.ReadAll(ds)
 }
 
 // OpenFile opens a run file of T keys as a Dataset; codec must match the
@@ -263,11 +280,19 @@ func LoadSummaryFloat64(r io.Reader) (*Summary[float64], error) {
 	return LoadSummary[float64](r, runio.Float64Codec{})
 }
 
+// NumericKey is the constraint of ExactQuantileMultipass: any fixed-width
+// numeric type (every type with a built-in Codec). The multipass baseline
+// needs value arithmetic for its bisection fallback, so — unlike the
+// purely comparison-based OPAQ surface — it cannot accept all of
+// cmp.Ordered.
+type NumericKey = multipass.Key
+
 // ExactQuantileMultipass computes an exact quantile using the multi-pass
 // narrowing strategy of the prior art the paper compares against ([GS90],
 // [MP80]): exact answers under a memory budget, at the cost of
-// ~log(n/memBudget) passes instead of OPAQ's one.
-func ExactQuantileMultipass(ds Dataset[int64], phi float64, memBudget int, seed int64) (int64, int, error) {
+// ~log(n/memBudget) passes instead of OPAQ's one. It is generic over every
+// codec-supported key type; int64 call sites infer T as before.
+func ExactQuantileMultipass[T NumericKey](ds Dataset[T], phi float64, memBudget int, seed int64) (T, int, error) {
 	res, err := multipass.FindExact(ds, phi, memBudget, seed)
 	return res.Value, res.Passes, err
 }

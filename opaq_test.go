@@ -430,3 +430,80 @@ func TestPublicAPIGenericPersistence(t *testing.T) {
 		t.Error("loading float64 checkpoint with int64 codec should fail")
 	}
 }
+
+// BuildSharded through the public surface: byte-identical to the
+// sequential build across shard counts and both merge algorithms.
+func TestPublicAPIBuildSharded(t *testing.T) {
+	const runLen = 1000
+	cfg := opaq.Config{RunLen: runLen, SampleSize: 100, Seed: 11}
+	xs := make([]int64, 24*runLen)
+	for i := range xs {
+		xs[i] = int64((i * 2654435761) % 1_000_003)
+	}
+	seq, err := opaq.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := opaq.SaveSummaryInt64(&want, seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		shards int
+		merge  opaq.MergeAlgo
+	}{{1, opaq.SampleMerge}, {3, opaq.SampleMerge}, {8, opaq.SampleMerge}, {4, opaq.BitonicMerge}} {
+		got, err := opaq.BuildShardedFromSlice(xs, cfg, opaq.ShardOptions{Shards: tc.shards, Merge: tc.merge})
+		if err != nil {
+			t.Fatalf("shards=%d merge=%v: %v", tc.shards, tc.merge, err)
+		}
+		var buf bytes.Buffer
+		if err := opaq.SaveSummaryInt64(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+			t.Errorf("shards=%d merge=%v: summary bytes differ from sequential build", tc.shards, tc.merge)
+		}
+	}
+
+	// Explicit per-shard datasets (the transport-level entry point).
+	pieces, err := opaq.ShardSlices(xs, 4, runLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := make([]opaq.Dataset[int64], len(pieces))
+	for i, p := range pieces {
+		datasets[i] = opaq.NewMemoryDataset(p, 8)
+	}
+	got, err := opaq.BuildSharded(datasets, cfg, opaq.ShardOptions{Merge: opaq.SampleMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := opaq.SaveSummaryInt64(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Error("BuildSharded over datasets differs from sequential build")
+	}
+}
+
+// The generic multipass surface accepts float64 datasets.
+func TestPublicAPIMultipassFloat64(t *testing.T) {
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = float64((i*48271)%65537) / 7
+	}
+	ds := opaq.NewMemoryDataset(xs, 8)
+	v, passes, err := opaq.ExactQuantileMultipass(ds, 0.5, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if want := sorted[25_000-1]; v != want {
+		t.Errorf("float multipass median = %g, want %g", v, want)
+	}
+	if passes < 2 {
+		t.Errorf("expected multiple passes, got %d", passes)
+	}
+}

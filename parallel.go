@@ -1,6 +1,8 @@
 package opaq
 
 import (
+	"cmp"
+
 	"opaq/internal/parallel"
 	"opaq/internal/runio"
 	"opaq/internal/simnet"
@@ -12,7 +14,7 @@ type ParallelConfig = parallel.Config
 
 // ParallelResult is a parallel execution's summary plus its simulated
 // per-phase time breakdown; see parallel.Result.
-type ParallelResult = parallel.Result
+type ParallelResult[T cmp.Ordered] = parallel.Result[T]
 
 // PhaseTimes is the per-phase simulated time breakdown; see
 // parallel.PhaseTimes.
@@ -25,9 +27,9 @@ type MergeAlgo = parallel.MergeAlgo
 // The two global merge algorithms of the paper's Section 3.
 const (
 	// BitonicMerge is the bitonic network with merge-split (power-of-two
-	// processor counts).
+	// shard counts).
 	BitonicMerge = parallel.BitonicMerge
-	// SampleMerge is splitter-based merging (any processor count).
+	// SampleMerge is splitter-based merging (any shard count).
 	SampleMerge = parallel.SampleMerge
 )
 
@@ -46,10 +48,12 @@ func DefaultCostModel() CostModel { return simnet.DefaultCostModel() }
 // DefaultDiskModel returns the matching per-node disk model.
 func DefaultDiskModel() DiskModel { return runio.DefaultDiskModel() }
 
-// ParallelRun executes parallel OPAQ over per-processor data shards on the
-// simulated machine. The returned summary's bounds are bit-identical to
-// the sequential algorithm's over the concatenated data; the result also
-// carries the simulated execution time and its per-phase breakdown.
-func ParallelRun(shards [][]int64, cfg ParallelConfig) (*ParallelResult, error) {
+// ParallelRun executes parallel OPAQ over per-rank data shards on the
+// simulated machine (the paper's Section 3 evaluation vehicle). The
+// returned summary's bounds are bit-identical to the sequential
+// algorithm's over the concatenated data; the result also carries the
+// simulated execution time and its per-phase breakdown. For a real
+// (wall-clock) sharded build, use BuildSharded.
+func ParallelRun[T cmp.Ordered](shards [][]T, cfg ParallelConfig) (*ParallelResult[T], error) {
 	return parallel.Run(shards, cfg)
 }

@@ -1,0 +1,76 @@
+package opaq
+
+import (
+	"cmp"
+
+	"opaq/internal/parallel"
+	"opaq/internal/runio"
+)
+
+// ShardOptions configures a sharded build; see parallel.ShardOptions.
+type ShardOptions = parallel.ShardOptions
+
+// BuildSharded runs the sample phase over the per-shard datasets
+// concurrently — one engine rank per dataset, connected by the real
+// in-process transport — and merges the per-shard sample lists into one
+// global Summary with opts.Merge (SampleMerge for any shard count,
+// BitonicMerge for powers of two). Each shard's local phase is the full
+// build pipeline, so cfg.Workers applies per shard and shards may be
+// disk-resident run files.
+//
+// When every shard but the last holds a whole number of runs
+// (Count % cfg.RunLen == 0), the result is bit-identical to a sequential
+// Build over the concatenation of the shards — the deterministic-sharding
+// guarantee the engine is tested on. See parallel.BuildSharded.
+func BuildSharded[T cmp.Ordered](datasets []Dataset[T], cfg Config, opts ShardOptions) (*Summary[T], error) {
+	return parallel.BuildSharded(datasets, cfg, opts)
+}
+
+// BuildShardedFromSlice is BuildSharded over an in-memory slice: the slice
+// is cut into opts.Shards run-aligned contiguous pieces (ShardSlices), so
+// the result is bit-identical to BuildFromSlice(xs, cfg) for every shard
+// count. Intended for tests, examples and moderate inputs; large inputs
+// should shard into run files and use BuildSharded directly.
+func BuildShardedFromSlice[T cmp.Ordered](xs []T, cfg Config, opts ShardOptions) (*Summary[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shards, err := ShardSlices(xs, max(opts.Shards, 1), cfg.RunLen)
+	if err != nil {
+		return nil, err
+	}
+	datasets := make([]Dataset[T], len(shards))
+	for i, sh := range shards {
+		datasets[i] = runio.NewMemoryDataset(sh, 8)
+	}
+	opts.Shards = len(datasets)
+	return BuildSharded(datasets, cfg, opts)
+}
+
+// ShardSlices cuts xs into run-aligned contiguous shards suitable for a
+// bit-deterministic sharded build; see parallel.ShardSlices.
+func ShardSlices[T any](xs []T, shards, runLen int) ([][]T, error) {
+	return parallel.ShardSlices(xs, shards, runLen)
+}
+
+// ShardFile splits the run file at path into `shards` run-aligned section
+// datasets without materializing it: each section scans its own element
+// range of the file (one seek plus a sequential read). Feed the result to
+// BuildSharded for a sharded build over a single large file whose summary
+// is bit-identical to the sequential build's, in O(shards · RunLen)
+// memory.
+func ShardFile[T any](path string, codec Codec[T], shards, runLen int) ([]Dataset[T], error) {
+	fd, err := runio.OpenFile(path, codec)
+	if err != nil {
+		return nil, err
+	}
+	sections, err := fd.Sections(shards, runLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Dataset[T], len(sections))
+	for i, s := range sections {
+		out[i] = s
+	}
+	return out, nil
+}
