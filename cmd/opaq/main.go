@@ -12,11 +12,17 @@
 //	opaq checkpoint -in data.run -out state.sum -m 65536 -s 1024
 //	opaq merge     -a day1.sum -b day2.sum -out all.sum -q 10
 //	opaq cdf       -in data.run -key 12345 -m 65536 -s 1024
+//	opaq serve     -addr :8080 -m 65536 -s 1024 -load data.run -checkpoint state.sum
 //
 // Every subcommand performs the minimum number of passes: quantiles,
 // rank and histogram one pass; exact two; sort three. -shards N routes the
 // build through the sharded engine (N concurrent shards, PSRS-style sample
 // merge); the summary is bit-identical to the single-shard build.
+//
+// serve runs the live quantile service: POST /ingest streams keys in,
+// GET /quantile, /quantiles, /selectivity and /stats answer from
+// epoch-cached snapshots, and SIGINT/SIGTERM drain in-flight queries
+// (optionally checkpointing the final state).
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "cdf":
 		err = cmdCDF(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: opaq <gen|quantiles|exact|rank|histogram|sort|checkpoint|merge|cdf> [flags]
+	fmt.Fprintln(os.Stderr, `usage: opaq <gen|quantiles|exact|rank|histogram|sort|checkpoint|merge|cdf|serve> [flags]
 run "opaq <subcommand> -h" for flags`)
 }
 

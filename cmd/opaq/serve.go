@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opaq"
+)
+
+// cmdServe runs the live quantile service: a long-lived engine ingesting
+// int64 keys over HTTP and answering quantile / selectivity / stats
+// queries from epoch-cached snapshots. SIGINT/SIGTERM drain in-flight
+// queries before exiting, optionally checkpointing the final state.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	m := fs.Int("m", 1<<16, "run length (elements per run)")
+	s := fs.Int("s", 1<<10, "samples per run (must divide m)")
+	stripes := fs.Int("stripes", 0, "ingest stripes (0 = GOMAXPROCS)")
+	buckets := fs.Int("buckets", 16, "equi-depth buckets for selectivity queries")
+	load := fs.String("load", "", "run file to bulk-load before serving")
+	shards := fs.Int("shards", 4, "bulk-load shard count")
+	restorePath := fs.String("restore", "", "checkpoint file to restore before serving")
+	checkpointPath := fs.String("checkpoint", "", "checkpoint file written after a graceful shutdown")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	fs.Parse(args)
+
+	eng, err := opaq.NewEngine[int64](opaq.EngineOptions{
+		Config:  opaq.Config{RunLen: *m, SampleSize: *s},
+		Stripes: *stripes,
+		Buckets: *buckets,
+	})
+	if err != nil {
+		return err
+	}
+	if *restorePath != "" {
+		if err := eng.RestoreFile(*restorePath, opaq.Int64Codec{}); err != nil {
+			return fmt.Errorf("restore %s: %w", *restorePath, err)
+		}
+		fmt.Printf("opaq: restored %d elements from %s\n", eng.N(), *restorePath)
+	}
+	if *load != "" {
+		sections, err := opaq.ShardFile(*load, opaq.Int64Codec{}, *shards, *m)
+		if err != nil {
+			return fmt.Errorf("bulk load %s: %w", *load, err)
+		}
+		if err := eng.BulkLoad(sections, opaq.ShardOptions{Merge: opaq.SampleMerge}); err != nil {
+			return fmt.Errorf("bulk load %s: %w", *load, err)
+		}
+		fmt.Printf("opaq: bulk-loaded %s (%d shards, n=%d)\n", *load, *shards, eng.N())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: opaq.NewEngineHandler(eng, opaq.ParseInt64Key)}
+	fmt.Printf("opaq: serving on http://%s\n", ln.Addr())
+
+	// The signal handler is installed before the server accepts its first
+	// request, so a shutdown signal can never hit the default handler once
+	// the service is reachable.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("opaq: %v — draining in-flight queries\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		if *checkpointPath != "" {
+			if err := eng.CheckpointFile(*checkpointPath, opaq.Int64Codec{}); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			fmt.Printf("opaq: checkpointed %d elements to %s\n", eng.N(), *checkpointPath)
+		}
+		fmt.Println("opaq: shutdown complete")
+		return nil
+	}
+}

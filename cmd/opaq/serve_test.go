@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves then releases an ephemeral port. The tiny window in
+// which another process could grab it is acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCmdServeEndToEnd drives the full serving story: bulk-load a run
+// file, ingest over HTTP, query quantiles and stats, then shut down
+// gracefully via SIGTERM and verify the final checkpoint restores.
+func TestCmdServeEndToEnd(t *testing.T) {
+	seed := genFile(t, "uniform", 20_000)
+	ckpt := filepath.Join(t.TempDir(), "state.sum")
+	addr := freePort(t)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr, "-m", "2000", "-s", "200",
+			"-load", seed, "-shards", "3",
+			"-checkpoint", ckpt,
+		})
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Second}
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/stats")
+		if err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			if up {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never became reachable")
+	}
+
+	resp, err := client.Post(base+"/ingest", "application/json",
+		bytes.NewBufferString(`{"keys":[1,2,3,4,5,6,7,8,9,10]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing["n"] != 20_010 {
+		t.Fatalf("n after bulk load + ingest = %d, want 20010", ing["n"])
+	}
+
+	resp, err = client.Get(base + "/quantile?phi=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quantile status %d: %v", resp.StatusCode, q)
+	}
+	if _, err := strconv.ParseInt(q["lower"].(string), 10, 64); err != nil {
+		t.Fatalf("median lower bound not an int64: %v", q["lower"])
+	}
+
+	// Graceful shutdown: drain, checkpoint, exit nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down within 10s of SIGTERM")
+	}
+
+	sum, err := loadSummaryFile(ckpt)
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	if sum.N() != 20_010 {
+		t.Fatalf("checkpoint N = %d, want 20010", sum.N())
+	}
+}

@@ -1,0 +1,46 @@
+package opaq
+
+import (
+	"cmp"
+	"net/http"
+
+	"opaq/internal/engine"
+)
+
+// Engine is a concurrent, long-lived quantile service: P lock-striped
+// ingest shards absorb a stream while queries are served from an
+// epoch-cached merged snapshot (one single-flight merge per ingest
+// advance, however many queries arrive). It checkpoints and restores its
+// state through the SaveSummary format and can be seeded from run files
+// via a sharded bulk load. See internal/engine for the architecture.
+type Engine[T cmp.Ordered] = engine.Engine[T]
+
+// EngineOptions configures NewEngine; see engine.Options.
+type EngineOptions = engine.Options
+
+// EngineStats is a point-in-time engine activity report; see engine.Stats.
+type EngineStats = engine.Stats
+
+// EngineSnapshot is an immutable consistent view of an engine: the merged
+// summary plus its derived equi-depth histogram; see engine.Snapshot.
+type EngineSnapshot[T cmp.Ordered] = engine.Snapshot[T]
+
+// NewEngine returns a live quantile service over elements of type T.
+func NewEngine[T cmp.Ordered](opts EngineOptions) (*Engine[T], error) {
+	return engine.New[T](opts)
+}
+
+// NewEngineHandler exposes an engine over the HTTP/JSON API that
+// `opaq serve` speaks (POST /ingest, GET /quantile, GET /quantiles,
+// GET /selectivity, GET /stats). parse converts request keys from their
+// decimal string form; ParseInt64Key and ParseFloat64Key cover the common
+// element types.
+func NewEngineHandler[T cmp.Ordered](e *Engine[T], parse func(string) (T, error)) http.Handler {
+	return engine.NewHandler(e, parse)
+}
+
+// ParseInt64Key parses a decimal int64 HTTP request key.
+func ParseInt64Key(s string) (int64, error) { return engine.Int64Key(s) }
+
+// ParseFloat64Key parses a decimal float64 HTTP request key.
+func ParseFloat64Key(s string) (float64, error) { return engine.Float64Key(s) }

@@ -63,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rr.Close()
 	var prev int64
 	seen := int64(0)
 	for {

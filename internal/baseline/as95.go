@@ -139,7 +139,7 @@ func (a *AgrawalSwami) Quantile(phi float64) (int64, error) {
 	if a.seen == 0 {
 		return 0, ErrNoData
 	}
-	if phi <= 0 || phi > 1 {
+	if !(phi > 0 && phi <= 1) { // positive phrasing also rejects NaN
 		return 0, fmt.Errorf("baseline: phi=%g out of (0,1]", phi)
 	}
 	target := phi * float64(a.seen)

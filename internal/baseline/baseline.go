@@ -79,7 +79,7 @@ func (r *Reservoir) Quantile(phi float64) (int64, error) {
 	if len(r.buf) == 0 {
 		return 0, ErrNoData
 	}
-	if phi <= 0 || phi > 1 {
+	if !(phi > 0 && phi <= 1) { // positive phrasing also rejects NaN
 		return 0, fmt.Errorf("baseline: phi=%g out of (0,1]", phi)
 	}
 	s := append([]int64(nil), r.buf...)

@@ -24,7 +24,7 @@ type P2 struct {
 
 // NewP2 creates a P² estimator for the φ-quantile.
 func NewP2(phi float64) (*P2, error) {
-	if phi <= 0 || phi >= 1 {
+	if !(phi > 0 && phi < 1) { // positive phrasing also rejects NaN
 		return nil, fmt.Errorf("baseline: P2 needs phi in (0,1), got %g", phi)
 	}
 	p := &P2{phi: phi}

@@ -126,7 +126,7 @@ func (h *P2Histogram) Quantile(phi float64) (int64, error) {
 	if h.n == 0 {
 		return 0, ErrNoData
 	}
-	if phi <= 0 || phi > 1 {
+	if !(phi > 0 && phi <= 1) { // positive phrasing also rejects NaN
 		return 0, fmt.Errorf("baseline: phi=%g out of (0,1]", phi)
 	}
 	if h.n < h.markers {

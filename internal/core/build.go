@@ -41,6 +41,10 @@ func Build[T cmp.Ordered](rr runio.RunReader[T], cfg Config) (*Summary[T], error
 		return nil, fmt.Errorf("%w: reader run length %d != config RunLen %d",
 			ErrConfig, rr.RunLen(), cfg.RunLen)
 	}
+	// Build consumes the scan: on every exit — EOF, config error, read or
+	// sampling failure, pipeline cancellation — the reader's resources are
+	// released (Close is idempotent, so the EOF self-close is fine).
+	defer rr.Close()
 	var (
 		results []runStats[T]
 		err     error
@@ -141,7 +145,7 @@ func collectConcurrent[T cmp.Ordered](rr runio.RunReader[T], cfg Config, workers
 	pf, alreadyPrefetching := any(rr).(*runio.PrefetchReader[T])
 	if !alreadyPrefetching {
 		pf = runio.Prefetch(rr, workers)
-		defer pf.Stop()
+		defer pf.Close()
 	}
 
 	type job struct {
@@ -239,7 +243,7 @@ func collectConcurrent[T cmp.Ordered](rr runio.RunReader[T], cfg Config, workers
 func assemble[T cmp.Ordered](results []runStats[T], cfg Config) (*Summary[T], error) {
 	step := cfg.Step()
 	if len(results) == 0 {
-		return &Summary[T]{step: int64(step)}, nil
+		return emptySummary[T](int64(step)), nil
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].idx < results[j].idx })
 	var (
@@ -283,9 +287,10 @@ func BuildFromDataset[T cmp.Ordered](ds runio.Dataset[T], cfg Config) (*Summary[
 }
 
 // BuildFromSlice is Build over an in-memory slice; the slice is not
-// modified. Intended for tests, examples and small inputs.
+// modified. Intended for tests, examples and small inputs. Modeled I/O
+// stats charge the element type's real width, not a fixed 8 bytes.
 func BuildFromSlice[T cmp.Ordered](xs []T, cfg Config) (*Summary[T], error) {
-	return BuildFromDataset[T](runio.NewMemoryDataset(xs, 8), cfg)
+	return BuildFromDataset[T](runio.NewMemoryDataset(xs, runio.ElemSize[T]()), cfg)
 }
 
 // ExactQuantile performs the paper's Section 4 extension: one extra pass
@@ -303,6 +308,7 @@ func ExactQuantile[T cmp.Ordered](ds runio.Dataset[T], s *Summary[T], phi float6
 	if err != nil {
 		return zero, err
 	}
+	defer rr.Close()
 	var below int64 // elements strictly below e_l
 	window := make([]T, 0, 2*(s.n/max(int64(len(s.samples)), 1))+16)
 	for {

@@ -129,6 +129,7 @@ func (e *errReader) NextRun() ([]int64, error) {
 
 func (e *errReader) Count() int64 { return int64(e.runs * e.m) }
 func (e *errReader) RunLen() int  { return e.m }
+func (e *errReader) Close() error { return nil }
 
 // TestBuildConcurrentPropagatesReadError checks the pipeline shuts down
 // cleanly and surfaces a mid-scan read failure at every worker count.
@@ -206,6 +207,7 @@ func (r *eofCheckReader) NextRun() ([]int64, error) {
 
 func (r *eofCheckReader) Count() int64 { return r.inner.Count() }
 func (r *eofCheckReader) RunLen() int  { return r.inner.RunLen() }
+func (r *eofCheckReader) Close() error { return r.inner.Close() }
 
 // TestBuildConcurrentStopsAtEOF ensures the producer stops reading once the
 // stream ends.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -82,7 +83,7 @@ func TestBoundsPhiValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, phi := range []float64{0, -0.5, 1.01} {
+	for _, phi := range []float64{0, -0.5, 1.01, math.NaN(), math.Inf(1), math.Inf(-1)} {
 		if _, err := s.Bounds(phi); !errors.Is(err, ErrPhi) {
 			t.Errorf("Bounds(%g) = %v, want ErrPhi", phi, err)
 		}

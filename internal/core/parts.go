@@ -35,7 +35,7 @@ func NewSummary[T cmp.Ordered](parts SummaryParts[T]) (*Summary[T], error) {
 		return nil, fmt.Errorf("%w: negative counts in parts", ErrConfig)
 	}
 	if parts.N == 0 {
-		return &Summary[T]{step: parts.Step}, nil
+		return emptySummary[T](parts.Step), nil
 	}
 	if parts.Step <= 0 {
 		return nil, fmt.Errorf("%w: step must be positive, got %d", ErrConfig, parts.Step)

@@ -102,7 +102,9 @@ func (b *StreamBuilder[T]) flush() error {
 // run.
 func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
 	if b.n == 0 {
-		return &Summary[T]{step: int64(b.cfg.Step())}, nil
+		// Identical to Build over an empty reader: the canonical empty
+		// summary (ErrEmpty from Bounds, zero-valued extrema), not an error.
+		return emptySummary[T](int64(b.cfg.Step())), nil
 	}
 	// Flush the tail into a copy of the state so ingestion can continue.
 	lists := b.lists

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -25,6 +27,65 @@ func TestStreamBuilderEmpty(t *testing.T) {
 	}
 	if s.N() != 0 {
 		t.Fatalf("N = %d", s.N())
+	}
+}
+
+// TestEmptySummaryConsistency pins the zero-element contract: a
+// StreamBuilder that never saw an element and a Build over an empty reader
+// yield structurally identical summaries, and every rank-dependent query
+// on either reports ErrEmpty rather than fabricating values.
+func TestEmptySummaryConsistency(t *testing.T) {
+	cfg := Config{RunLen: 8, SampleSize: 2}
+	sb, err := NewStreamBuilder[int64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := sb.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildFromSlice[int64](nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed.Parts(), built.Parts()) {
+		t.Fatalf("empty summaries diverge: stream %+v vs build %+v", streamed.Parts(), built.Parts())
+	}
+	for name, s := range map[string]*Summary[int64]{"stream": streamed, "build": built} {
+		if _, err := s.Bounds(0.5); !errors.Is(err, ErrEmpty) {
+			t.Errorf("%s: Bounds on empty = %v, want ErrEmpty", name, err)
+		}
+		if _, err := s.BoundsAtRank(1); !errors.Is(err, ErrEmpty) {
+			t.Errorf("%s: BoundsAtRank on empty = %v, want ErrEmpty", name, err)
+		}
+		if _, err := s.Quantiles(10); !errors.Is(err, ErrEmpty) {
+			t.Errorf("%s: Quantiles on empty = %v, want ErrEmpty", name, err)
+		}
+		if lo, hi := s.RankBounds(42); lo != 0 || hi != 0 {
+			t.Errorf("%s: RankBounds on empty = [%d, %d], want zeros", name, lo, hi)
+		}
+		if s.ErrorBound() != 0 {
+			t.Errorf("%s: ErrorBound on empty = %d", name, s.ErrorBound())
+		}
+		if s.Min() != 0 || s.Max() != 0 {
+			t.Errorf("%s: empty extrema = [%d, %d], want zero values", name, s.Min(), s.Max())
+		}
+	}
+	// The streaming builder stays usable after an empty snapshot, and its
+	// next snapshot matches a batch build of the same data.
+	if err := sb.AddBatch([]int64{3, 1, 2, 5, 4, 9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sb.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := BuildFromSlice([]int64{3, 1, 2, 5, 4, 9, 8, 7}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Parts(), batch.Parts()) {
+		t.Error("summaries diverge after ingesting into a previously-empty builder")
 	}
 }
 

@@ -35,6 +35,17 @@ type Bounds[T cmp.Ordered] struct {
 	MaxAbove int64
 }
 
+// emptySummary is the canonical zero-element summary, shared by every
+// construction path — Build over an empty reader, StreamBuilder.Summary
+// before any Add, NewSummary with N == 0 — so the empty behaviors are
+// identical everywhere: N() is 0, Bounds/BoundsAtRank/Quantiles return
+// ErrEmpty, RankBounds and CDF return zeros, ErrorBound is 0, and Min/Max
+// are the element type's zero value (meaningless until n > 0; Bounds is
+// the error-checked way to ask for extrema).
+func emptySummary[T cmp.Ordered](step int64) *Summary[T] {
+	return &Summary[T]{step: step}
+}
+
 // N returns the number of data elements the summary covers.
 func (s *Summary[T]) N() int64 { return s.n }
 
@@ -50,10 +61,13 @@ func (s *Summary[T]) SampleCount() int { return len(s.samples) }
 // Samples returns the sorted sample list. The caller must not modify it.
 func (s *Summary[T]) Samples() []T { return s.samples }
 
-// Min returns the exact minimum of the observed data.
+// Min returns the exact minimum of the observed data. On an empty summary
+// it is the element type's zero value and meaningless; callers that need
+// an error on empty should use Bounds, which returns ErrEmpty.
 func (s *Summary[T]) Min() T { return s.min }
 
-// Max returns the exact maximum of the observed data.
+// Max returns the exact maximum of the observed data. On an empty summary
+// it is the element type's zero value and meaningless, as for Min.
 func (s *Summary[T]) Max() T { return s.max }
 
 // ErrorBound returns the maximum possible number of elements between a true
@@ -86,7 +100,10 @@ func (s *Summary[T]) Bounds(phi float64) (Bounds[T], error) {
 	if s.n == 0 {
 		return b, ErrEmpty
 	}
-	if phi <= 0 || phi > 1 {
+	// NaN fails every comparison, so the validity check must be phrased
+	// positively — `phi <= 0 || phi > 1` would wave NaN through and turn
+	// it into a garbage rank.
+	if !(phi > 0 && phi <= 1) {
 		return b, fmt.Errorf("%w: phi=%g", ErrPhi, phi)
 	}
 	rank := int64(phi * float64(s.n))

@@ -1,0 +1,428 @@
+// Package engine turns the batch OPAQ library into a long-lived quantile
+// service: a concurrent component that ingests a stream, answers
+// quantile / rank / selectivity queries while data keeps arriving, and
+// checkpoints its state — the serving substrate for query-optimizer
+// statistics that must stay fresh (the equi-depth histogram application
+// the paper's introduction motivates).
+//
+// # Architecture
+//
+// Writes go to P lock-striped ingest shards, each owning one
+// core.StreamBuilder behind its own mutex; Ingest and IngestBatch
+// round-robin across stripes, so concurrent writers rarely contend on the
+// same lock. Reads are served from an immutable merged Snapshot that is
+// cached per ingest version: a query first checks the cached snapshot, and
+// only when ingestion has advanced does one merger rebuild the global
+// summary via core.Merge over the stripe summaries (single-flight — a
+// burst of queries behind a stale cache performs exactly one merge; the
+// rest block briefly and reuse it). Because summaries are immutable,
+// queries against a snapshot never block ingestion.
+//
+// Bulk history enters through BulkLoad (a sharded build over run-file
+// datasets) or Restore (a checkpoint written by Checkpoint); both merge
+// into a base summary that snapshot rebuilds fold in, exactly the paper's
+// Section 4 incremental story: keep the old sorted samples, sample the new
+// runs, merge.
+package engine
+
+import (
+	"cmp"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"opaq/internal/core"
+	"opaq/internal/histogram"
+	"opaq/internal/parallel"
+	"opaq/internal/runio"
+)
+
+// DefaultBuckets is the equi-depth bucket count of snapshot histograms
+// when Options.Buckets is zero.
+const DefaultBuckets = 16
+
+// Options configures an Engine.
+type Options struct {
+	// Config is the OPAQ sample-phase configuration every stripe builds
+	// with. All summaries the engine merges (stripes, bulk loads,
+	// restores) must share its Step = RunLen/SampleSize.
+	Config core.Config
+	// Stripes is P, the number of lock-striped ingest shards. 0 means
+	// runtime.GOMAXPROCS(0).
+	Stripes int
+	// Buckets is the equi-depth histogram resolution of snapshots
+	// (selectivity queries). 0 means DefaultBuckets.
+	Buckets int
+}
+
+// Snapshot is an immutable, internally consistent view of everything the
+// engine had absorbed when the snapshot was cut. Both fields are safe for
+// concurrent use and never mutated afterwards.
+type Snapshot[T cmp.Ordered] struct {
+	// Summary is the merged global summary (base + every stripe).
+	Summary *core.Summary[T]
+	// Hist is the equi-depth histogram derived from Summary; nil when the
+	// snapshot is empty.
+	Hist *histogram.EquiDepth[T]
+	// Version is the ingest version the snapshot is known to reflect;
+	// concurrent ingests may already have advanced past it.
+	Version uint64
+}
+
+// Stats is a point-in-time report of engine state and activity.
+type Stats struct {
+	// N is the number of elements absorbed (ingested + bulk-loaded +
+	// restored).
+	N int64
+	// Version counts absorb operations; the snapshot cache is keyed on it.
+	Version uint64
+	// Stripes is the configured ingest-stripe count.
+	Stripes int
+	// Merges is the number of snapshot rebuilds performed.
+	Merges int64
+	// Queries is the number of snapshot-backed queries served.
+	Queries int64
+	// SnapshotN, SnapshotSamples and SnapshotErrorBound describe the
+	// cached snapshot (zero when none has been cut yet).
+	SnapshotN          int64
+	SnapshotSamples    int
+	SnapshotErrorBound int64
+}
+
+// Engine is a concurrent, long-lived quantile service over elements of
+// type T. All methods are safe for concurrent use.
+type Engine[T cmp.Ordered] struct {
+	cfg     core.Config
+	buckets int
+	stripes []*stripe[T]
+
+	next    atomic.Uint64 // round-robin ingest cursor
+	version atomic.Uint64 // bumped after every absorb (ingest, bulk load, restore)
+	count   atomic.Int64  // total elements absorbed
+
+	mergeMu sync.Mutex // single-flight guard for snapshot rebuilds
+	snap    atomic.Pointer[Snapshot[T]]
+
+	baseMu sync.Mutex                      // serializes base replacement
+	base   atomic.Pointer[core.Summary[T]] // merged bulk loads + restores; nil until first absorb
+
+	merges  atomic.Int64
+	queries atomic.Int64
+}
+
+type stripe[T cmp.Ordered] struct {
+	mu sync.Mutex
+	sb *core.StreamBuilder[T]
+}
+
+// New returns an engine with freshly initialized stripes.
+func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	p := opts.Stripes
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("%w: Stripes must be non-negative, got %d", core.ErrConfig, opts.Stripes)
+	}
+	buckets := opts.Buckets
+	if buckets == 0 {
+		buckets = DefaultBuckets
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("%w: Buckets must be non-negative, got %d", core.ErrConfig, opts.Buckets)
+	}
+	e := &Engine[T]{cfg: opts.Config, buckets: buckets, stripes: make([]*stripe[T], p)}
+	for i := range e.stripes {
+		sb, err := core.NewStreamBuilder[T](opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		e.stripes[i] = &stripe[T]{sb: sb}
+	}
+	return e, nil
+}
+
+// Ingest observes one element. The ingest version is bumped only after the
+// element is resident in its stripe, so a Snapshot taken after Ingest
+// returns is guaranteed to include it (read-your-writes).
+func (e *Engine[T]) Ingest(v T) error {
+	st := e.stripes[e.next.Add(1)%uint64(len(e.stripes))]
+	st.mu.Lock()
+	err := st.sb.Add(v)
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.count.Add(1)
+	e.version.Add(1)
+	return nil
+}
+
+// IngestBatch observes a batch of elements. The whole batch lands on one
+// stripe (keeping its run composition contiguous) and bumps the ingest
+// version once, so a batch triggers at most one snapshot rebuild.
+func (e *Engine[T]) IngestBatch(vs []T) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	st := e.stripes[e.next.Add(1)%uint64(len(e.stripes))]
+	st.mu.Lock()
+	err := st.sb.AddBatch(vs)
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.count.Add(int64(len(vs)))
+	e.version.Add(1)
+	return nil
+}
+
+// N returns the total number of elements absorbed so far.
+func (e *Engine[T]) N() int64 { return e.count.Load() }
+
+// Snapshot returns a consistent merged view of everything absorbed. When
+// the ingest version matches the cached snapshot it is returned without
+// any locking; otherwise one caller rebuilds while concurrent callers wait
+// and reuse the result (single-flight).
+func (e *Engine[T]) Snapshot() (*Snapshot[T], error) {
+	cur := e.version.Load()
+	if s := e.snap.Load(); s != nil && s.Version == cur {
+		return s, nil
+	}
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	// Re-check under the merge lock: a burst of queries behind one stale
+	// cache line up here, and all but the first see the fresh snapshot.
+	cur = e.version.Load()
+	if s := e.snap.Load(); s != nil && s.Version == cur {
+		return s, nil
+	}
+	return e.rebuildLocked(cur)
+}
+
+// rebuildLocked cuts a fresh snapshot. The version was read before the
+// stripes, so the snapshot may contain newer elements than it is labeled
+// with — a later query then merely rebuilds again; it never serves data
+// older than its label promises.
+func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
+	acc := e.base.Load() // immutable; nil until a bulk load or restore
+	for _, st := range e.stripes {
+		st.mu.Lock()
+		sum, err := st.sb.Summary()
+		st.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = sum
+			continue
+		}
+		if acc, err = core.Merge(acc, sum); err != nil {
+			return nil, err
+		}
+	}
+	snap := &Snapshot[T]{Summary: acc, Version: version}
+	if acc.N() > 0 {
+		h, err := histogram.Build(acc, e.buckets)
+		if err != nil {
+			return nil, err
+		}
+		snap.Hist = h
+	}
+	e.snap.Store(snap)
+	e.merges.Add(1)
+	return snap, nil
+}
+
+// Quantile returns the deterministic enclosure of the φ-quantile over
+// everything absorbed, from the current snapshot.
+func (e *Engine[T]) Quantile(phi float64) (core.Bounds[T], error) {
+	s, err := e.Snapshot()
+	if err != nil {
+		var zero core.Bounds[T]
+		return zero, err
+	}
+	e.queries.Add(1)
+	return s.Summary.Bounds(phi)
+}
+
+// Quantiles returns enclosures of the q−1 equally spaced quantiles.
+func (e *Engine[T]) Quantiles(q int) ([]core.Bounds[T], error) {
+	s, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	return s.Summary.Quantiles(q)
+}
+
+// RankBounds returns deterministic bounds on the number of absorbed
+// elements ≤ x.
+func (e *Engine[T]) RankBounds(x T) (lo, hi int64, err error) {
+	s, err := e.Snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	e.queries.Add(1)
+	lo, hi = s.Summary.RankBounds(x)
+	return lo, hi, nil
+}
+
+// RangeEstimate answers a range predicate from one snapshot: the
+// selectivity (fraction of absorbed elements in [a, b]), the raw element
+// estimate it is derived from, and the histogram's deterministic absolute
+// error ceiling — mutually consistent even while ingestion advances.
+// Empty engines report core.ErrEmpty.
+func (e *Engine[T]) RangeEstimate(a, b T) (sel, estimate, maxErr float64, err error) {
+	s, err := e.Snapshot()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if s.Hist == nil {
+		return 0, 0, 0, core.ErrEmpty
+	}
+	e.queries.Add(1)
+	estimate = s.Hist.EstimateRange(a, b)
+	return estimate / float64(s.Hist.N()), estimate, s.Hist.MaxRangeError(), nil
+}
+
+// Selectivity estimates the fraction of absorbed elements in [a, b] from
+// the snapshot's equi-depth histogram. Empty engines report core.ErrEmpty.
+func (e *Engine[T]) Selectivity(a, b T) (float64, error) {
+	sel, _, _, err := e.RangeEstimate(a, b)
+	return sel, err
+}
+
+// EstimateRange estimates the number of absorbed elements in [a, b], with
+// the histogram's deterministic error ceiling as the second result.
+func (e *Engine[T]) EstimateRange(a, b T) (estimate, maxErr float64, err error) {
+	_, estimate, maxErr, err = e.RangeEstimate(a, b)
+	return estimate, maxErr, err
+}
+
+// Stats reports engine state without forcing a snapshot rebuild (the
+// snapshot columns describe the cached snapshot, which may trail N).
+func (e *Engine[T]) Stats() Stats {
+	st := Stats{
+		N:       e.count.Load(),
+		Version: e.version.Load(),
+		Stripes: len(e.stripes),
+		Merges:  e.merges.Load(),
+		Queries: e.queries.Load(),
+	}
+	if s := e.snap.Load(); s != nil {
+		st.SnapshotN = s.Summary.N()
+		st.SnapshotSamples = s.Summary.SampleCount()
+		st.SnapshotErrorBound = s.Summary.ErrorBound()
+	}
+	return st
+}
+
+// BulkLoad seeds the engine from per-shard datasets (typically run-file
+// sections from runio.ShardFile) via the sharded build: every shard runs
+// the full local sample phase concurrently, and the merged result is
+// absorbed as history alongside live ingestion.
+func (e *Engine[T]) BulkLoad(datasets []runio.Dataset[T], opts parallel.ShardOptions) error {
+	sum, err := parallel.BuildSharded(datasets, e.cfg, opts)
+	if err != nil {
+		return err
+	}
+	return e.absorb(sum)
+}
+
+// absorb merges an externally built summary into the engine's base.
+func (e *Engine[T]) absorb(sum *core.Summary[T]) error {
+	if sum.N() == 0 {
+		return nil
+	}
+	if sum.Step() != int64(e.cfg.Step()) {
+		return fmt.Errorf("%w: summary step %d, engine step %d (same RunLen/SampleSize ratio required)",
+			core.ErrIncompatible, sum.Step(), e.cfg.Step())
+	}
+	added := sum.N()
+	e.baseMu.Lock()
+	defer e.baseMu.Unlock()
+	if cur := e.base.Load(); cur != nil {
+		merged, err := core.Merge(cur, sum)
+		if err != nil {
+			return err
+		}
+		sum = merged
+	}
+	e.base.Store(sum)
+	e.count.Add(added)
+	e.version.Add(1)
+	return nil
+}
+
+// Checkpoint writes the engine's current merged summary to w in the
+// checksummed SaveSummary format. The checkpoint captures everything
+// absorbed up to the snapshot it cuts; a Restore of it into a fresh engine
+// yields a byte-identical next checkpoint.
+func (e *Engine[T]) Checkpoint(w io.Writer, codec runio.Codec[T]) error {
+	s, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	return core.SaveSummary(w, s.Summary, codec)
+}
+
+// CheckpointFile checkpoints atomically: the summary is written to a
+// temporary file in the target directory, synced, and renamed over path,
+// so a crash mid-write never leaves a torn checkpoint behind.
+func (e *Engine[T]) CheckpointFile(path string, codec runio.Codec[T]) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".opaq-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := e.Checkpoint(f, codec); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Restore absorbs a checkpoint written by Checkpoint (with the same codec
+// and RunLen/SampleSize ratio) as engine history. Restoring into a
+// non-empty engine merges, so shards of history can be restored one by
+// one.
+func (e *Engine[T]) Restore(r io.Reader, codec runio.Codec[T]) error {
+	sum, err := core.LoadSummary[T](r, codec)
+	if err != nil {
+		return err
+	}
+	return e.absorb(sum)
+}
+
+// RestoreFile restores from a checkpoint file.
+func (e *Engine[T]) RestoreFile(path string, codec runio.Codec[T]) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.Restore(f, codec)
+}

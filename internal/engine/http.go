@@ -1,0 +1,213 @@
+// HTTP/JSON transport for the engine: a small API a query optimizer, a
+// metrics pipeline or curl can speak. Keys are carried as JSON strings in
+// responses (and accepted as strings or numbers in requests) so 64-bit
+// integer keys survive transports that parse JSON numbers as float64.
+package engine
+
+import (
+	"cmp"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"opaq/internal/core"
+)
+
+// ParseKey converts a decimal string into a key; FormatKey is its inverse.
+// int64 engines use strconv.ParseInt / FormatInt-style implementations
+// (see Int64Key).
+type ParseKey[T any] func(string) (T, error)
+
+// Int64Key parses an int64 key, the CLI server's element type.
+func Int64Key(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+// Float64Key parses a float64 key.
+func Float64Key(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// handler serves the engine API:
+//
+//	POST /ingest       {"keys": [1, "2", 3]}            → {"ingested": 3, "n": 1003}
+//	GET  /quantile     ?phi=0.5                          → the deterministic enclosure
+//	GET  /quantiles    ?q=10                             → q−1 equally spaced enclosures
+//	GET  /selectivity  ?a=10&b=20                        → histogram range estimate
+//	GET  /stats                                          → engine counters
+type handler[T cmp.Ordered] struct {
+	e     *Engine[T]
+	parse ParseKey[T]
+}
+
+// NewHandler returns the engine's HTTP API. parse converts request keys
+// from their decimal string form.
+func NewHandler[T cmp.Ordered](e *Engine[T], parse ParseKey[T]) http.Handler {
+	h := &handler[T]{e: e, parse: parse}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", h.ingest)
+	mux.HandleFunc("GET /quantile", h.quantile)
+	mux.HandleFunc("GET /quantiles", h.quantiles)
+	mux.HandleFunc("GET /selectivity", h.selectivity)
+	mux.HandleFunc("GET /stats", h.stats)
+	return mux
+}
+
+// boundsJSON is one quantile enclosure on the wire.
+type boundsJSON struct {
+	Phi      float64 `json:"phi"`
+	Rank     int64   `json:"rank"`
+	Lower    string  `json:"lower"`
+	Upper    string  `json:"upper"`
+	MaxBelow int64   `json:"max_below"`
+	MaxAbove int64   `json:"max_above"`
+}
+
+func toBoundsJSON[T cmp.Ordered](b core.Bounds[T]) boundsJSON {
+	return boundsJSON{
+		Phi:      b.Phi,
+		Rank:     b.Rank,
+		Lower:    fmt.Sprint(b.Lower),
+		Upper:    fmt.Sprint(b.Upper),
+		MaxBelow: b.MaxBelow,
+		MaxAbove: b.MaxAbove,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps engine errors onto HTTP statuses: malformed input is 400,
+// querying an empty engine is 409 (a state, not a request, problem),
+// anything else is 500.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrEmpty):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrPhi), errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+var errBadRequest = errors.New("bad request")
+
+// maxQuantiles caps GET /quantiles: beyond a few thousand equally spaced
+// quantiles the summary's sample resolution is exhausted anyway.
+const maxQuantiles = 4096
+
+func (h *handler[T]) ingest(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Keys []json.RawMessage `json:"keys"`
+	}
+	// Keys are captured as raw bytes and re-parsed through h.parse, so
+	// 64-bit integers never round-trip through float64.
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: decoding body: %v", errBadRequest, err))
+		return
+	}
+	keys := make([]T, 0, len(body.Keys))
+	for i, raw := range body.Keys {
+		// Accept both 42 and "42": unquote strings, pass numbers through.
+		s := string(raw)
+		if len(s) > 0 && s[0] == '"' {
+			if err := json.Unmarshal(raw, &s); err != nil {
+				writeErr(w, fmt.Errorf("%w: key %d: %v", errBadRequest, i, err))
+				return
+			}
+		}
+		v, err := h.parse(s)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: key %d: %v", errBadRequest, i, err))
+			return
+		}
+		keys = append(keys, v)
+	}
+	if err := h.e.IngestBatch(keys); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"ingested": int64(len(keys)),
+		"n":        h.e.N(),
+	})
+}
+
+func (h *handler[T]) quantile(w http.ResponseWriter, r *http.Request) {
+	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: phi: %v", errBadRequest, err))
+		return
+	}
+	b, err := h.e.Quantile(phi)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toBoundsJSON(b))
+}
+
+func (h *handler[T]) quantiles(w http.ResponseWriter, r *http.Request) {
+	q, err := strconv.Atoi(r.URL.Query().Get("q"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: q: %v", errBadRequest, err))
+		return
+	}
+	// The response is O(q): an uncapped q would let one request allocate
+	// gigabytes inside a long-lived server.
+	if q > maxQuantiles {
+		writeErr(w, fmt.Errorf("%w: q=%d exceeds maximum %d", errBadRequest, q, maxQuantiles))
+		return
+	}
+	bs, err := h.e.Quantiles(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]boundsJSON, len(bs))
+	for i, b := range bs {
+		out[i] = toBoundsJSON(b)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"quantiles": out})
+}
+
+func (h *handler[T]) selectivity(w http.ResponseWriter, r *http.Request) {
+	a, err := h.parse(r.URL.Query().Get("a"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: a: %v", errBadRequest, err))
+		return
+	}
+	b, err := h.parse(r.URL.Query().Get("b"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: b: %v", errBadRequest, err))
+		return
+	}
+	sel, est, maxErr, err := h.e.RangeEstimate(a, b)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"a":             fmt.Sprint(a),
+		"b":             fmt.Sprint(b),
+		"selectivity":   sel,
+		"estimate":      est,
+		"max_abs_error": maxErr,
+	})
+}
+
+func (h *handler[T]) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.e.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":                    st.N,
+		"version":              st.Version,
+		"stripes":              st.Stripes,
+		"merges":               st.Merges,
+		"queries":              st.Queries,
+		"snapshot_n":           st.SnapshotN,
+		"snapshot_samples":     st.SnapshotSamples,
+		"snapshot_error_bound": st.SnapshotErrorBound,
+	})
+}

@@ -138,7 +138,7 @@ func Sort[T cmp.Ordered](inPath, outPath string, codec runio.Codec[T], opts Opti
 		return st, err
 	}
 	pf := runio.Prefetch(rr, 1)
-	defer pf.Stop()
+	defer pf.Close()
 	st.BucketSizes = make([]int64, k)
 	var scattered int64
 	for {

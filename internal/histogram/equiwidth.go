@@ -35,33 +35,22 @@ func BuildEquiWidth(ds runio.Dataset[int64], buckets int) (*EquiWidth, error) {
 		return nil, fmt.Errorf("histogram: empty dataset")
 	}
 	// Pass 1: extrema.
-	rr, err := ds.Runs(64 * 1024)
-	if err != nil {
-		return nil, err
-	}
 	var minV, maxV int64
 	first := true
-	for {
-		run, err := rr.NextRun()
-		if err == io.EOF {
-			break
+	if err := scanInt64(ds, func(v int64) {
+		if first {
+			minV, maxV = v, v
+			first = false
+			return
 		}
-		if err != nil {
-			return nil, err
+		if v < minV {
+			minV = v
 		}
-		for _, v := range run {
-			if first {
-				minV, maxV = v, v
-				first = false
-				continue
-			}
-			if v < minV {
-				minV = v
-			}
-			if v > maxV {
-				maxV = v
-			}
+		if v > maxV {
+			maxV = v
 		}
+	}); err != nil {
+		return nil, err
 	}
 	h := &EquiWidth{
 		min:    minV,
@@ -70,24 +59,35 @@ func BuildEquiWidth(ds runio.Dataset[int64], buckets int) (*EquiWidth, error) {
 		counts: make([]int64, buckets),
 	}
 	// Pass 2: counts.
-	rr, err = ds.Runs(64 * 1024)
-	if err != nil {
+	if err := scanInt64(ds, func(v int64) {
+		h.counts[h.bucket(v)]++
+		h.n++
+	}); err != nil {
 		return nil, err
 	}
+	return h, nil
+}
+
+// scanInt64 runs fn over one sequential pass of ds, owning the reader so
+// every exit path — including a mid-scan read error — releases the scan.
+func scanInt64(ds runio.Dataset[int64], fn func(v int64)) error {
+	rr, err := ds.Runs(64 * 1024)
+	if err != nil {
+		return err
+	}
+	defer rr.Close()
 	for {
 		run, err := rr.NextRun()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, v := range run {
-			h.counts[h.bucket(v)]++
-			h.n++
+			fn(v)
 		}
 	}
-	return h, nil
 }
 
 func (h *EquiWidth) bucket(v int64) int {

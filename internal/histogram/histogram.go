@@ -75,11 +75,51 @@ func (h *EquiDepth[T]) SlackRanks() int64 { return h.slack }
 // and interpolating within it (the classic equi-depth estimator: each
 // bucket holds depth elements; the fraction inside the bucket is assumed
 // uniform — here in rank space, i.e. half-bucket resolution at worst).
+//
+// On heavily skewed data, adjacent boundaries collide: a value holding
+// more than a bucket's worth of duplicates is the upper boundary of every
+// bucket it fills. All those buckets lie at or below x, so the estimate
+// counts through the LAST boundary equal to x — stopping at the first one
+// (as a naive lower-bound search does) undercounts by whole buckets.
 func (h *EquiDepth[T]) EstimateLE(x T) float64 {
 	if x < h.min {
 		return 0
 	}
-	// Find the first boundary ≥ x.
+	// ub is the number of boundaries ≤ x: everything in buckets 0..ub-1 is
+	// ≤ their boundaries ≤ x, including every bucket a duplicated boundary
+	// value spans.
+	lo, hi := 0, len(h.boundaries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.boundaries[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ub := lo
+	if ub == len(h.boundaries) {
+		return float64(h.n)
+	}
+	if ub > 0 && h.boundaries[ub-1] == x {
+		return float64(ub) * h.depth
+	}
+	// x lies strictly inside bucket ub; attribute half the bucket (expected
+	// rank of a uniformly placed point within its bucket).
+	return (float64(ub) + 0.5) * h.depth
+}
+
+// estimateLT estimates the number of elements strictly below x —
+// EstimateLE's half-open counterpart. On a duplicated boundary value the
+// two differ by every bucket the duplicates span: buckets closing strictly
+// below x count in full, the value's own mass not at all. Deriving the
+// strict count by shifting EstimateLE would re-include that mass and
+// wreck ranges that start at a heavy hitter.
+func (h *EquiDepth[T]) estimateLT(x T) float64 {
+	if x <= h.min {
+		return 0
+	}
+	// lb: first boundary ≥ x. Buckets 0..lb-1 close strictly below x.
 	lo, hi := 0, len(h.boundaries)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -89,32 +129,28 @@ func (h *EquiDepth[T]) EstimateLE(x T) float64 {
 			hi = mid
 		}
 	}
-	if lo >= len(h.boundaries) {
+	if lo == len(h.boundaries) {
 		return float64(h.n)
 	}
-	// x lies in bucket lo; attribute half the bucket (expected rank of a
-	// uniformly placed point within its bucket).
-	if x == h.boundaries[lo] {
-		return float64(lo+1) * h.depth
+	if h.boundaries[lo] == x {
+		return float64(lo) * h.depth
 	}
+	// x interior to bucket lo: same interpolation as EstimateLE (the two
+	// estimates differ only by duplicates of a non-boundary x, assumed
+	// below bucket resolution).
 	return (float64(lo) + 0.5) * h.depth
 }
 
 // EstimateRange estimates the number of elements in the closed range
-// [a, b] — the selectivity numerator of a range predicate.
+// [a, b] — the selectivity numerator of a range predicate. The closed
+// count is elements ≤ b minus elements < a, each endpoint estimated at
+// half-bucket resolution, so the error stays within MaxRangeError even
+// when an endpoint is a heavy hitter spanning several buckets.
 func (h *EquiDepth[T]) EstimateRange(a, b T) float64 {
 	if b < a {
 		return 0
 	}
-	leB := h.EstimateLE(b)
-	var ltA float64
-	if a > h.min {
-		ltA = h.EstimateLE(a) - h.depth/2 // shift from ≤a toward <a
-		if ltA < 0 {
-			ltA = 0
-		}
-	}
-	est := leB - ltA
+	est := h.EstimateLE(b) - h.estimateLT(a)
 	if est < 0 {
 		est = 0
 	}

@@ -144,3 +144,107 @@ func TestSingleBucket(t *testing.T) {
 		t.Errorf("EstimateLE(+inf) = %g", got)
 	}
 }
+
+// Regression: on heavily skewed data a heavy hitter fills several buckets,
+// so adjacent equi-depth boundaries collide on its value. The estimator
+// used to binary-search to the FIRST equal boundary and undercount the
+// elements ≤ the heavy hitter by whole buckets; it must attribute every
+// bucket the value spans. Checked against exact ranks on Zipf data and on
+// an adversarial constant-heavy input.
+func TestEstimateLEDuplicateBoundaries(t *testing.T) {
+	// Maximal-skew Zipf (the paper's param 0 end): the hottest key draws
+	// ~11% of all mass, so with 2.5%-deep buckets boundaries collide.
+	g, err := datagen.NewZipf(17, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf := datagen.Generate(g, 100_000)
+	// Adversarial: 70% of the data is one value.
+	heavy := make([]int64, 100_000)
+	for i := range heavy {
+		if i%10 < 7 {
+			heavy[i] = 500
+		} else {
+			heavy[i] = int64(i % 1000)
+		}
+	}
+	for name, xs := range map[string][]int64{"zipf": zipf, "heavy": heavy} {
+		const B = 40
+		h, err := Build(buildSummary(t, xs), B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := metrics.NewOracle(xs)
+		// A per-point estimate may legitimately be off by half a bucket of
+		// interpolation plus the boundary slack; a first-equal-boundary
+		// search is off by whole extra buckets on the heavy hitters.
+		tol := h.depth + float64(h.SlackRanks())
+		dup := 0
+		bs := h.Boundaries()
+		for i := 1; i < len(bs); i++ {
+			if bs[i] == bs[i-1] {
+				dup++
+			}
+		}
+		if dup == 0 {
+			t.Fatalf("%s: no duplicate boundaries — scenario does not exercise the regression", name)
+		}
+		probes := append([]int64(nil), bs...)
+		probes = append(probes, 0, 1, 2, 100, 499, 500, 501, 999)
+		for _, x := range probes {
+			est := h.EstimateLE(x)
+			truth := float64(o.RankLE(x))
+			if math.Abs(est-truth) > tol {
+				t.Errorf("%s: EstimateLE(%d) = %g, exact %g, |err| %g exceeds depth+slack = %g",
+					name, x, est, truth, math.Abs(est-truth), tol)
+			}
+		}
+		// Ranges anchored at a duplicated boundary, in both roles: the
+		// heavy hitter's whole mass belongs to [hh, b] and none of it to
+		// [a, hh). Both must respect the documented ceiling.
+		ceiling := h.MaxRangeError()
+		for _, r := range [][2]int64{
+			{probes[len(bs)/2], bs[len(bs)-1]}, // from a mid boundary to max
+			{bs[0], bs[len(bs)/2]},             // from min-side boundary to a mid one
+			{bs[len(bs)/2], bs[len(bs)/2]},     // degenerate [x, x] on a boundary
+		} {
+			if r[1] < r[0] {
+				r[0], r[1] = r[1], r[0]
+			}
+			est := h.EstimateRange(r[0], r[1])
+			truth := float64(o.CountIn(r[0], r[1]))
+			if math.Abs(est-truth) > ceiling {
+				t.Errorf("%s: EstimateRange(%d, %d) = %g, exact %g, |err| %g exceeds ceiling %g",
+					name, r[0], r[1], est, truth, math.Abs(est-truth), ceiling)
+			}
+		}
+	}
+}
+
+// Regression for the specific failure the EstimateLE fix could have
+// introduced: a range whose LOWER endpoint is the heavy hitter must not
+// subtract the hitter's duplicate mass from its own range.
+func TestEstimateRangeHeavyHitterEndpoints(t *testing.T) {
+	heavy := make([]int64, 100_000)
+	for i := range heavy {
+		if i%10 < 7 {
+			heavy[i] = 500
+		} else {
+			heavy[i] = int64(i % 1000)
+		}
+	}
+	h, err := Build(buildSummary(t, heavy), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := metrics.NewOracle(heavy)
+	ceiling := h.MaxRangeError()
+	for _, r := range [][2]int64{{500, 999}, {0, 500}, {500, 500}, {499, 501}} {
+		est := h.EstimateRange(r[0], r[1])
+		truth := float64(o.CountIn(r[0], r[1]))
+		if math.Abs(est-truth) > ceiling {
+			t.Errorf("EstimateRange(%d, %d) = %g, exact %g, |err| %g exceeds ceiling %g",
+				r[0], r[1], est, truth, math.Abs(est-truth), ceiling)
+		}
+	}
+}

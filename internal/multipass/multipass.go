@@ -64,7 +64,7 @@ func FindExact[T Key](ds runio.Dataset[T], phi float64, memBudget int, seed int6
 	if n == 0 {
 		return res, errors.New("multipass: empty dataset")
 	}
-	if phi <= 0 || phi > 1 {
+	if !(phi > 0 && phi <= 1) { // positive phrasing also rejects NaN
 		return res, fmt.Errorf("multipass: phi=%g out of (0,1]", phi)
 	}
 	if memBudget < 16 {
@@ -108,57 +108,66 @@ func FindExact[T Key](ds runio.Dataset[T], phi float64, memBudget int, seed int6
 		window := make([]T, 0, memBudget)
 		overflow := false
 		var sample []T
-		for {
-			run, err := rr.NextRun()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return res, err
-			}
-			for _, v := range run {
-				if v != v { // NaN: no total order, so no rank is defined
-					return res, fmt.Errorf("multipass: input element %d is NaN; NaN keys have no total order", scanned)
+		// One scan per pass; the closure owns the reader so an early exit
+		// (NaN input, read error) releases the scan's descriptor instead of
+		// leaking it.
+		scanErr := func() error {
+			defer rr.Close()
+			for {
+				run, err := rr.NextRun()
+				if err == io.EOF {
+					return nil
 				}
-				scanned++
-				if haveBounds {
-					if v < lo || (loStrict && v == lo) {
-						below++
-						continue
+				if err != nil {
+					return err
+				}
+				for _, v := range run {
+					if v != v { // NaN: no total order, so no rank is defined
+						return fmt.Errorf("multipass: input element %d is NaN; NaN keys have no total order", scanned)
 					}
-					if v > hi {
-						continue
+					scanned++
+					if haveBounds {
+						if v < lo || (loStrict && v == lo) {
+							below++
+							continue
+						}
+						if v > hi {
+							continue
+						}
 					}
-				}
-				if inside == 0 {
-					minIn, maxIn = v, v
-				} else {
-					minIn = min(minIn, v)
-					maxIn = max(maxIn, v)
-				}
-				inside++
-				if havePivot && v <= pivot {
-					insideLE++
-				}
-				if !overflow {
-					if len(window) < memBudget {
-						window = append(window, v)
-						continue
+					if inside == 0 {
+						minIn, maxIn = v, v
+					} else {
+						minIn = min(minIn, v)
+						maxIn = max(maxIn, v)
 					}
-					overflow = true
-					// Seed the reservoir with the abandoned window so early
-					// elements stay candidates.
-					sample = append(sample, window...)
-					window = window[:0]
-					seen = int64(len(sample))
-				}
-				seen++
-				if len(sample) < pivotSample {
-					sample = append(sample, v)
-				} else if j := rng.Int63n(seen); j < pivotSample {
-					sample[j] = v
+					inside++
+					if havePivot && v <= pivot {
+						insideLE++
+					}
+					if !overflow {
+						if len(window) < memBudget {
+							window = append(window, v)
+							continue
+						}
+						overflow = true
+						// Seed the reservoir with the abandoned window so early
+						// elements stay candidates.
+						sample = append(sample, window...)
+						window = window[:0]
+						seen = int64(len(sample))
+					}
+					seen++
+					if len(sample) < pivotSample {
+						sample = append(sample, v)
+					} else if j := rng.Int63n(seen); j < pivotSample {
+						sample[j] = v
+					}
 				}
 			}
+		}()
+		if scanErr != nil {
+			return res, scanErr
 		}
 		target := rank - below
 		if target < 1 || target > inside {

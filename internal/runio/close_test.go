@@ -1,0 +1,173 @@
+package runio
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// openFDs counts this process's open file descriptors via /proc. Skips the
+// test on platforms without a /proc filesystem.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate fds: %v", err)
+	}
+	return len(ents)
+}
+
+// writeSeq writes n sequential int64 keys to a fresh run file.
+func writeSeq(t *testing.T, n int) *FileDataset[int64] {
+	t.Helper()
+	path := tmpPath(t)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	if err := WriteFile(path, Int64Codec{}, data); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFile(path, Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAbandonedScanDoesNotLeakFDs is the regression test for the fd leak:
+// before RunReader grew Close, a consumer that stopped reading mid-scan
+// left the descriptor open until process exit, so a long-lived process
+// doing many early-exit scans (a multipass that narrows, a cancelled bulk
+// load) ran out of descriptors.
+func TestAbandonedScanDoesNotLeakFDs(t *testing.T) {
+	d := writeSeq(t, 1000)
+	before := openFDs(t)
+	const scans = 64
+	for i := 0; i < scans; i++ {
+		rr, err := d.Runs(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rr.NextRun(); err != nil { // touch the scan, then abandon it
+			t.Fatal(err)
+		}
+		if err := rr.Close(); err != nil {
+			t.Fatalf("close abandoned scan %d: %v", i, err)
+		}
+	}
+	if after := openFDs(t); after > before {
+		t.Fatalf("abandoned scans leaked descriptors: %d open before, %d after %d scans",
+			before, after, scans)
+	}
+}
+
+// TestSectionAbandonedScanDoesNotLeakFDs covers the same leak through the
+// FileSection scan path used by sharded builds.
+func TestSectionAbandonedScanDoesNotLeakFDs(t *testing.T) {
+	d := writeSeq(t, 1000)
+	secs, err := d.Sections(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := openFDs(t)
+	for i := 0; i < 32; i++ {
+		for _, s := range secs {
+			rr, err := s.Runs(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rr.NextRun(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := openFDs(t); after > before {
+		t.Fatalf("abandoned section scans leaked descriptors: %d before, %d after", before, after)
+	}
+}
+
+// TestRunReaderCloseSemantics pins the contract: Close is idempotent, a
+// closed reader reports io.EOF, and a scan read through to EOF may still be
+// closed harmlessly.
+func TestRunReaderCloseSemantics(t *testing.T) {
+	d := writeSeq(t, 64)
+	rr, err := d.Runs(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.NextRun(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := rr.NextRun(); err != io.EOF {
+		t.Fatalf("NextRun after Close = %v, want io.EOF", err)
+	}
+
+	// Full scan, then Close.
+	rr, err = d.Runs(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := rr.NextRun(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatalf("close after EOF: %v", err)
+	}
+
+	// In-memory readers satisfy the same contract.
+	mem := NewMemoryDataset([]int64{1, 2, 3}, 8)
+	mr, err := mem.Runs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mr.NextRun(); err != io.EOF {
+		t.Fatalf("memory NextRun after Close = %v, want io.EOF", err)
+	}
+}
+
+// TestPrefetchCloseReleasesInner checks that closing a prefetch-wrapped
+// scan early stops the read-ahead goroutine and releases the underlying
+// descriptor.
+func TestPrefetchCloseReleasesInner(t *testing.T) {
+	d := writeSeq(t, 4096)
+	before := openFDs(t)
+	for i := 0; i < 32; i++ {
+		rr, err := d.Runs(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := Prefetch(rr, 2)
+		if _, err := pf.NextRun(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.Close(); err != nil {
+			t.Fatalf("prefetch close %d: %v", i, err)
+		}
+		if err := pf.Close(); err != nil {
+			t.Fatalf("prefetch double close %d: %v", i, err)
+		}
+	}
+	if after := openFDs(t); after > before {
+		t.Fatalf("prefetch-abandoned scans leaked descriptors: %d before, %d after", before, after)
+	}
+}

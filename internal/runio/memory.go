@@ -3,7 +3,18 @@ package runio
 import (
 	"fmt"
 	"io"
+	"unsafe"
 )
+
+// ElemSize returns the modeled on-disk width in bytes of one element of
+// type T: its in-memory size, which for every fixed-width numeric key type
+// equals the width of its Codec (4 for the 32-bit types, 8 for the 64-bit
+// ones). In-memory datasets charge this width in their I/O accounting so
+// that modeled stats for a given element type match the file-backed path.
+func ElemSize[T any]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
 
 // MemoryDataset is a Dataset over an in-memory slice. It charges the same
 // I/O accounting as a file-backed dataset so simulated-time experiments can
@@ -56,6 +67,13 @@ func (r *memRunReader[T]) NextRun() ([]T, error) {
 	r.d.stats.BytesRead += int64(len(run) * r.d.elemSize)
 	r.pos = end
 	return run, nil
+}
+
+// Close implements RunReader: an in-memory scan holds no resources, so it
+// only marks the scan exhausted.
+func (r *memRunReader[T]) Close() error {
+	r.pos = len(r.d.data)
+	return nil
 }
 
 // Count implements RunReader.

@@ -21,9 +21,10 @@ func Prefetch[T any](rr RunReader[T], depth int) *PrefetchReader[T] {
 		depth = 1
 	}
 	p := &PrefetchReader[T]{
-		inner: rr,
-		ch:    make(chan prefetched[T], depth),
-		stop:  make(chan struct{}),
+		inner:    rr,
+		ch:       make(chan prefetched[T], depth),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
 	}
 	go p.loop()
 	return p
@@ -40,10 +41,12 @@ type PrefetchReader[T any] struct {
 	ch       chan prefetched[T]
 	stop     chan struct{}
 	stopOnce sync.Once
+	loopDone chan struct{}
 	done     bool
 }
 
 func (p *PrefetchReader[T]) loop() {
+	defer close(p.loopDone)
 	defer close(p.ch)
 	for {
 		run, err := p.inner.NextRun()
@@ -83,9 +86,22 @@ func errDone[T any](p *PrefetchReader[T]) error {
 }
 
 // Stop cancels the prefetcher early (e.g. when the consumer abandons the
-// scan); safe to call multiple times and after exhaustion.
+// scan); safe to call multiple times and after exhaustion. Stop does not
+// release the inner reader — use Close for that.
 func (p *PrefetchReader[T]) Stop() {
 	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// Close implements RunReader: it stops the read-ahead goroutine, waits for
+// it to finish any in-flight read, and closes the inner reader. Idempotent
+// and safe after exhaustion. Close deliberately leaves the consumer-side
+// `done` flag alone — it may run on a different goroutine than NextRun, and
+// a consumer blocked in NextRun is unblocked by the loop closing the
+// channel, which already yields io.EOF.
+func (p *PrefetchReader[T]) Close() error {
+	p.Stop()
+	<-p.loopDone // the loop must not race the inner Close below
+	return p.inner.Close()
 }
 
 // Count implements RunReader.

@@ -58,6 +58,11 @@ func (d DiskModel) Time(s Stats) time.Duration {
 // returned slice's backing array between calls only if documented; both
 // implementations here hand out freshly owned slices because OPAQ's sample
 // phase reorders runs in place.
+//
+// A reader owns whatever resource backs the scan (for file-backed datasets,
+// an open descriptor). Consumers that abandon a scan before io.EOF must
+// call Close; reading through to EOF or a read error also releases the
+// resource, after which Close is a no-op.
 type RunReader[T any] interface {
 	// NextRun returns the next run of elements.
 	NextRun() ([]T, error)
@@ -65,6 +70,9 @@ type RunReader[T any] interface {
 	Count() int64
 	// RunLen returns the configured run length m.
 	RunLen() int
+	// Close releases the resources backing the scan. It is idempotent and
+	// safe to call after EOF; subsequent NextRun calls return io.EOF.
+	Close() error
 }
 
 // Dataset abstracts a source of elements that can be scanned as runs any
@@ -187,10 +195,7 @@ type fileRunReader[T any] struct {
 // NextRun implements RunReader.
 func (r *fileRunReader[T]) NextRun() ([]T, error) {
 	if r.done || r.left == 0 {
-		if !r.done {
-			r.done = true
-			r.f.Close()
-		}
+		r.Close()
 		return nil, io.EOF
 	}
 	n := r.m
@@ -199,8 +204,7 @@ func (r *fileRunReader[T]) NextRun() ([]T, error) {
 	}
 	want := n * r.codec.Size()
 	if _, err := io.ReadFull(r.br, r.ebuf[:want]); err != nil {
-		r.done = true
-		r.f.Close()
+		r.Close()
 		return nil, fmt.Errorf("%w: truncated run (want %d bytes): %v", ErrCorrupt, want, err)
 	}
 	run := make([]T, n)
@@ -212,10 +216,20 @@ func (r *fileRunReader[T]) NextRun() ([]T, error) {
 	r.stats.ReadOps++
 	r.stats.BytesRead += int64(want)
 	if r.left == 0 {
-		r.done = true
-		r.f.Close()
+		r.Close()
 	}
 	return run, nil
+}
+
+// Close implements RunReader: it releases the scan's file descriptor. The
+// exhausted path (EOF or read error) closes through here too, so an
+// early-exit consumer and a full scan end in the same state.
+func (r *fileRunReader[T]) Close() error {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	return r.f.Close()
 }
 
 // Count implements RunReader.
@@ -231,6 +245,7 @@ func ReadAll[T any](d Dataset[T]) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rr.Close()
 	out := make([]T, 0, d.Count())
 	for {
 		run, err := rr.NextRun()

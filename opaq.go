@@ -50,6 +50,14 @@
 // the simulated machine of the paper's evaluation instead, reporting
 // modeled phase times.
 //
+// # Serving
+//
+// Engine is the live counterpart of the batch builds: a long-lived
+// service with lock-striped concurrent ingest, version-cached
+// single-flight merged snapshots, checkpoint/restore through the
+// SaveSummary format, and a bulk-load path over run files. NewEngineHandler
+// exposes it over HTTP/JSON (the API `opaq serve` speaks).
+//
 // The subpackages under internal are the implementation; this package is
 // the supported surface.
 package opaq
@@ -151,9 +159,17 @@ func PlanConfig(n, memElems int64, q int) (Plan, error) {
 }
 
 // NewMemoryDataset wraps an in-memory slice as a Dataset; elemSize is the
-// modeled on-disk element width in bytes (8 for int64/float64).
+// modeled on-disk element width in bytes (use ElemSize[T]() for the
+// element type's real width — 8 for int64/float64, 4 for float32).
 func NewMemoryDataset[T any](xs []T, elemSize int) Dataset[T] {
 	return runio.NewMemoryDataset(xs, elemSize)
+}
+
+// ElemSize returns the modeled on-disk width in bytes of one element of
+// type T — the width the built-in codecs encode at for every fixed-width
+// numeric key type.
+func ElemSize[T any]() int {
+	return runio.ElemSize[T]()
 }
 
 // ReadAll materializes a whole dataset in memory (one sequential scan).

@@ -507,3 +507,53 @@ func TestPublicAPIMultipassFloat64(t *testing.T) {
 		t.Errorf("expected multiple passes, got %d", passes)
 	}
 }
+
+// Regression: BuildShardedFromSlice used to model every element at 8 bytes
+// regardless of type, so 32-bit builds reported twice their real I/O. The
+// modeled stats of a float32 sharded build must charge 4 bytes per element.
+func TestShardedFloat32ModeledStats(t *testing.T) {
+	const runLen, n = 1 << 10, 50_000
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32((i*48271)%65537) / 3
+	}
+	datasets, err := opaq.MemoryShards(xs, 4, runLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opaq.Config{RunLen: runLen, SampleSize: 1 << 6}
+	sum, err := opaq.BuildSharded(datasets, cfg, opaq.ShardOptions{Merge: opaq.SampleMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N() != n {
+		t.Fatalf("n = %d, want %d", sum.N(), n)
+	}
+	var total int64
+	for _, ds := range datasets {
+		total += ds.Stats().BytesRead
+	}
+	if want := int64(n) * int64(opaq.ElemSize[float32]()); total != want {
+		t.Errorf("float32 sharded build modeled %d bytes read, want %d (4 bytes/elem)", total, want)
+	}
+	if opaq.ElemSize[float32]() != 4 || opaq.ElemSize[int64]() != 8 {
+		t.Errorf("ElemSize: float32=%d int64=%d, want 4 and 8",
+			opaq.ElemSize[float32](), opaq.ElemSize[int64]())
+	}
+
+	// The sharded summary still matches the sequential one bit-for-bit.
+	seq, err := opaq.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := opaq.SaveSummary(&a, seq, opaq.Float32Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := opaq.SaveSummary(&b, sum, opaq.Float32Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("float32 sharded summary differs from sequential build")
+	}
+}

@@ -27,7 +27,7 @@ func BuildSharded[T cmp.Ordered](datasets []Dataset[T], cfg Config, opts ShardOp
 }
 
 // BuildShardedFromSlice is BuildSharded over an in-memory slice: the slice
-// is cut into opts.Shards run-aligned contiguous pieces (ShardSlices), so
+// is cut into opts.Shards run-aligned contiguous pieces (MemoryShards), so
 // the result is bit-identical to BuildFromSlice(xs, cfg) for every shard
 // count. Intended for tests, examples and moderate inputs; large inputs
 // should shard into run files and use BuildSharded directly.
@@ -35,16 +35,29 @@ func BuildShardedFromSlice[T cmp.Ordered](xs []T, cfg Config, opts ShardOptions)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	shards, err := ShardSlices(xs, max(opts.Shards, 1), cfg.RunLen)
+	datasets, err := MemoryShards(xs, max(opts.Shards, 1), cfg.RunLen)
 	if err != nil {
 		return nil, err
 	}
-	datasets := make([]Dataset[T], len(shards))
-	for i, sh := range shards {
-		datasets[i] = runio.NewMemoryDataset(sh, 8)
-	}
 	opts.Shards = len(datasets)
 	return BuildSharded(datasets, cfg, opts)
+}
+
+// MemoryShards cuts xs into run-aligned contiguous shards (ShardSlices) and
+// wraps each as an in-memory Dataset whose modeled I/O accounting charges
+// the element type's real width — a float32 shard is modeled at 4 bytes per
+// element, not 8. This is the dataset layout BuildShardedFromSlice builds
+// over, exposed so callers can inspect per-shard Stats.
+func MemoryShards[T any](xs []T, shards, runLen int) ([]Dataset[T], error) {
+	pieces, err := ShardSlices(xs, shards, runLen)
+	if err != nil {
+		return nil, err
+	}
+	datasets := make([]Dataset[T], len(pieces))
+	for i, sh := range pieces {
+		datasets[i] = runio.NewMemoryDataset(sh, runio.ElemSize[T]())
+	}
+	return datasets, nil
 }
 
 // ShardSlices cuts xs into run-aligned contiguous shards suitable for a
