@@ -13,16 +13,28 @@
 //	opaq merge     -a day1.sum -b day2.sum -out all.sum -q 10
 //	opaq cdf       -in data.run -key 12345 -m 65536 -s 1024
 //	opaq serve     -addr :8080 -m 65536 -s 1024 -load data.run -checkpoint state.sum
+//	opaq serve     -addr :8080 -tenants orders,users -epoch 1000000 -window 24 \
+//	               -checkpoint-dir /var/lib/opaq -max-pending 67108864
 //
 // Every subcommand performs the minimum number of passes: quantiles,
 // rank and histogram one pass; exact two; sort three. -shards N routes the
 // build through the sharded engine (N concurrent shards, PSRS-style sample
 // merge); the summary is bit-identical to the single-shard build.
 //
-// serve runs the live quantile service: POST /ingest streams keys in,
+// serve runs the live quantile service: POST /ingest streams keys in;
 // GET /quantile, /quantiles, /selectivity and /stats answer from
-// epoch-cached snapshots, and SIGINT/SIGTERM drain in-flight queries
-// (optionally checkpointing the final state).
+// epoch-cached snapshots; GET /healthz reports liveness plus per-tenant
+// stats; and SIGINT/SIGTERM drain in-flight queries before checkpointing
+// the final state. Summaries move through an epoch lifecycle: -epoch,
+// -epoch-bytes and -epoch-interval seal completed runs into immutable
+// epochs, and -window K (last K epochs) or -retain-age D (trailing
+// wall-clock window) evict aged epochs so quantiles describe a sliding
+// window instead of everything ever seen. -tenants serves several
+// independently queryable engines behind one mux (/t/{tenant}/...; the
+// root routes alias the default tenant; POST/GET/DELETE /admin/tenants
+// manage the set at runtime), each checkpointing to its own file in
+// -checkpoint-dir and restoring warm on boot. -max-body and -max-pending
+// bound resident ingest state (413 / 429 + Retry-After beyond them).
 package main
 
 import (

@@ -8,9 +8,13 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"opaq"
 )
 
 // freePort reserves then releases an ephemeral port. The tiny window in
@@ -111,4 +115,253 @@ func TestCmdServeEndToEnd(t *testing.T) {
 	if sum.N() != 20_010 {
 		t.Fatalf("checkpoint N = %d, want 20010", sum.N())
 	}
+}
+
+// TestCmdServeFlagValidation pins the trigger-dependency checks: retention
+// and pending-bytes backpressure are inert (or a permanent 429) without an
+// epoch seal trigger, so serve must refuse the combination up front.
+func TestCmdServeFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-window", "4", "-retain-age", "1m"},
+		{"-window", "4"},
+		{"-retain-age", "1m"},
+		{"-max-pending", "1048576"},
+		// A bound partial-run buffers alone can cross never drains:
+		// 1 stripe × (1024−1) × 8 = 8184 bytes of unsealable capacity.
+		{"-max-pending", "1000", "-epoch", "4096", "-stripes", "1", "-m", "1024", "-s", "128"},
+	} {
+		if err := cmdServe(args); err == nil {
+			t.Errorf("cmdServe(%v) = nil, want a flag-validation error", args)
+		}
+	}
+	// With a trigger the same flags are accepted past validation (the
+	// bad address proves we reached the listen step).
+	err := cmdServe([]string{"-window", "4", "-epoch", "1024", "-addr", "256.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Errorf("trigger+window should pass validation and fail at listen, got %v", err)
+	}
+}
+
+// TestCmdServeRestoreSkippedWhenWarm pins the seed-vs-warm-boot rule: a
+// -restore seed lands as its own epoch, so re-applying it on top of a
+// default tenant already restored from -checkpoint-dir would double the
+// history on every reboot. The warm state must win.
+func TestCmdServeRestoreSkippedWhenWarm(t *testing.T) {
+	dir := t.TempDir()
+	seed := filepath.Join(dir, "seed.sum")
+	src, err := opaq.NewEngine[int64](opaq.EngineOptions{
+		Config: opaq.Config{RunLen: 512, SampleSize: 64}, Stripes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.IngestBatch(make([]int64, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CheckpointFile(seed, opaq.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "tenants")
+
+	defaultN := func(base string) float64 {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Tenants map[string]map[string]any `json:"tenants"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Tenants["default"]["n"].(float64)
+	}
+	cycle := func(wantN float64) {
+		t.Helper()
+		addr := freePort(t)
+		done := make(chan error, 1)
+		go func() {
+			done <- cmdServe([]string{
+				"-addr", addr, "-m", "512", "-s", "64",
+				"-restore", seed, "-checkpoint-dir", ckptDir,
+			})
+		}()
+		base := "http://" + addr
+		client := &http.Client{Timeout: 2 * time.Second}
+		up := false
+		for i := 0; i < 100 && !up; i++ {
+			if resp, err := client.Get(base + "/healthz"); err == nil {
+				up = resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+			}
+			if !up {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		if !up {
+			t.Fatal("server never became healthy")
+		}
+		if n := defaultN(base); n != wantN {
+			t.Fatalf("default tenant n = %g, want %g", n, wantN)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("serve did not shut down")
+		}
+	}
+	cycle(1000) // cold boot: seed restored
+	cycle(1000) // warm boot: seed skipped, not layered on the checkpoint
+	cycle(1000) // and stays stable across further reboots
+}
+
+// TestCmdServeMultiTenant pins the multi-tenant acceptance criterion end
+// to end: two tenants ingest concurrently through one serve process,
+// answer independent quantile queries, checkpoint to separate files on
+// shutdown and restore warm on restart.
+func TestCmdServeMultiTenant(t *testing.T) {
+	ckptDir := filepath.Join(t.TempDir(), "tenants")
+
+	serve := func() (string, chan error) {
+		done := make(chan error, 1)
+		addr := freePort(t)
+		go func() {
+			done <- cmdServe([]string{
+				"-addr", addr, "-m", "512", "-s", "64",
+				"-tenants", "orders,users",
+				"-epoch", "2048", "-window", "8",
+				"-checkpoint-dir", ckptDir,
+			})
+		}()
+		return "http://" + addr, done
+	}
+	waitUp := func(base string) {
+		t.Helper()
+		client := &http.Client{Timeout: 2 * time.Second}
+		for i := 0; i < 100; i++ {
+			resp, err := client.Get(base + "/healthz")
+			if err == nil {
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatal("server never became healthy")
+	}
+	shutdown := func(done chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("serve did not shut down within 10s of SIGTERM")
+		}
+	}
+
+	base, done := serve()
+	waitUp(base)
+
+	// Two tenants ingest disjoint ranges concurrently.
+	var wg sync.WaitGroup
+	for tenant, keyBase := range map[string]int64{"orders": 1_000_000, "users": 10} {
+		wg.Add(1)
+		go func(tenant string, keyBase int64) {
+			defer wg.Done()
+			for batch := 0; batch < 10; batch++ {
+				var keys []string
+				for i := int64(0); i < 500; i++ {
+					keys = append(keys, strconv.FormatInt(keyBase+i, 10))
+				}
+				body := `{"keys":["` + strings.Join(keys, `","`) + `"]}`
+				resp, err := http.Post(base+"/t/"+tenant+"/ingest", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("tenant %s ingest: status %d", tenant, resp.StatusCode)
+					return
+				}
+			}
+		}(tenant, keyBase)
+	}
+	wg.Wait()
+
+	median := func(tenant string) int64 {
+		t.Helper()
+		resp, err := http.Get(base + "/t/" + tenant + "/quantile?phi=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s quantile: status %d", tenant, resp.StatusCode)
+		}
+		var q map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		v, err := strconv.ParseInt(q["lower"].(string), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if m := median("orders"); m < 1_000_000 {
+		t.Fatalf("orders median %d below its key range", m)
+	}
+	if m := median("users"); m >= 1_000 {
+		t.Fatalf("users median %d contaminated by the orders range", m)
+	}
+	shutdown(done)
+
+	// Separate per-tenant checkpoint files exist (default tenant too).
+	for _, name := range []string{"default", "orders", "users"} {
+		if _, err := os.Stat(filepath.Join(ckptDir, name+".ckpt")); err != nil {
+			t.Fatalf("tenant %s checkpoint: %v", name, err)
+		}
+	}
+
+	// Restart over the same directory: tenants restore warm and keep
+	// serving their own statistics.
+	base, done = serve()
+	waitUp(base)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Tenants map[string]map[string]any `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, name := range []string{"orders", "users"} {
+		if n := health.Tenants[name]["n"].(float64); n != 5000 {
+			t.Fatalf("restored tenant %s n = %g, want 5000", name, n)
+		}
+	}
+	if m := median("orders"); m < 1_000_000 {
+		t.Fatalf("restored orders median %d below its key range", m)
+	}
+	shutdown(done)
 }

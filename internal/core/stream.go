@@ -20,14 +20,35 @@ import (
 // element sequence at any Config.Workers setting. The buffered tail (a
 // partial run) is folded in on Summary() with the same ragged-run
 // accounting Build uses, at the cost of an O(RunLen log s) flush.
+//
+// # Sealing
+//
+// For epoch-based lifecycles (a serving engine aging summaries out of its
+// merge set), Seal detaches everything that has completed a whole run into
+// an immutable Summary and resets the builder's run state, while the
+// in-progress partial run stays buffered and flows into the next epoch.
+// Because a seal never cuts a run, the multiset of per-run sample lists —
+// and therefore the merge of all sealed summaries plus Summary() — is
+// byte-identical to never having sealed at all.
 type StreamBuilder[T cmp.Ordered] struct {
-	cfg      Config
-	buf      []T
-	lists    [][]T
-	runs     int64
-	n        int64
-	leftover int64
-	min, max T
+	cfg Config
+	buf []T
+
+	// State of whole runs flushed since the last Seal.
+	lists    [][]T // per-run sorted sample lists
+	runs     int64 // whole runs
+	runN     int64 // elements in those runs (runs·RunLen)
+	leftover int64 // elements of those runs not covered by a sub-run
+	runMin   T     // extrema over those runs; valid when runs > 0
+	runMax   T
+
+	// Extrema of the buffered partial run; valid when len(buf) > 0.
+	bufMin, bufMax T
+
+	// seq counts runs flushed over the builder's lifetime, across seals,
+	// so each run's selection RNG keeps the same (Seed, run index)
+	// derivation Build uses.
+	seq int64
 }
 
 // NewStreamBuilder returns a streaming builder for the given config.
@@ -43,17 +64,16 @@ func NewStreamBuilder[T cmp.Ordered](cfg Config) (*StreamBuilder[T], error) {
 
 // Add observes one element. Amortized cost is O(log s) per element.
 func (b *StreamBuilder[T]) Add(v T) error {
-	if b.n == 0 {
-		b.min, b.max = v, v
+	if len(b.buf) == 0 {
+		b.bufMin, b.bufMax = v, v
 	} else {
-		if v < b.min {
-			b.min = v
+		if v < b.bufMin {
+			b.bufMin = v
 		}
-		if v > b.max {
-			b.max = v
+		if v > b.bufMax {
+			b.bufMax = v
 		}
 	}
-	b.n++
 	b.buf = append(b.buf, v)
 	if len(b.buf) == b.cfg.RunLen {
 		return b.flush()
@@ -71,21 +91,40 @@ func (b *StreamBuilder[T]) AddBatch(vs []T) error {
 	return nil
 }
 
-// N returns the number of elements observed.
-func (b *StreamBuilder[T]) N() int64 { return b.n }
+// N returns the number of elements the builder currently holds: whole runs
+// not yet detached by Seal, plus the buffered partial run. Before any Seal
+// this is everything observed since creation.
+func (b *StreamBuilder[T]) N() int64 { return b.runN + int64(len(b.buf)) }
 
-// flush samples the buffered run and clears the buffer.
+// Buffered returns the size of the in-progress partial run — the elements
+// a Seal would leave behind for the next epoch.
+func (b *StreamBuilder[T]) Buffered() int { return len(b.buf) }
+
+// flush samples the buffered run, folds it into the whole-run state and
+// clears the buffer.
 func (b *StreamBuilder[T]) flush() error {
 	step := b.cfg.Step()
 	si := len(b.buf) / step
 	b.leftover += int64(len(b.buf) - si*step)
+	b.runN += int64(len(b.buf))
+	if b.runs == 0 {
+		b.runMin, b.runMax = b.bufMin, b.bufMax
+	} else {
+		if b.bufMin < b.runMin {
+			b.runMin = b.bufMin
+		}
+		if b.bufMax > b.runMax {
+			b.runMax = b.bufMax
+		}
+	}
 	b.runs++
+	b.seq++
 	if si > 0 {
 		ranks := make([]int, si)
 		for k := 1; k <= si; k++ {
 			ranks[k-1] = k*step - 1
 		}
-		rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, b.runs-1)))
+		rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, b.seq-1)))
 		samples, err := selection.MultiSelect(b.buf, ranks, rng)
 		if err != nil {
 			return err
@@ -96,19 +135,52 @@ func (b *StreamBuilder[T]) flush() error {
 	return nil
 }
 
-// Summary returns the summary over everything observed so far. The
-// builder remains usable afterwards; the buffered partial run is consumed
-// as a (ragged) run of its own, exactly as Build treats a short final
-// run.
+// Seal detaches the whole runs accumulated since the previous Seal as an
+// immutable Summary and resets the builder's run state. The buffered
+// partial run is NOT included — it stays in the builder, keeps filling
+// toward RunLen, and belongs to whatever summary is cut next — so sealing
+// never splits a run and the concatenation of sealed summaries plus a
+// final Summary() covers exactly the observed sequence with exactly the
+// run composition an unsealed builder would have had.
+//
+// When no whole run has completed since the last Seal, the canonical empty
+// summary is returned (N() == 0) and the builder is unchanged.
+func (b *StreamBuilder[T]) Seal() *Summary[T] {
+	if b.runs == 0 {
+		return emptySummary[T](int64(b.cfg.Step()))
+	}
+	s := &Summary[T]{
+		samples:  merge.KWay(b.lists),
+		step:     int64(b.cfg.Step()),
+		runs:     b.runs,
+		n:        b.runN,
+		leftover: b.leftover,
+		min:      b.runMin,
+		max:      b.runMax,
+	}
+	var zero T
+	b.lists, b.runs, b.runN, b.leftover = nil, 0, 0, 0
+	b.runMin, b.runMax = zero, zero
+	return s
+}
+
+// Summary returns the summary over everything the builder currently holds
+// (see N). The builder remains usable afterwards; the buffered partial run
+// is consumed as a (ragged) run of its own, exactly as Build treats a
+// short final run.
 func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
-	if b.n == 0 {
+	if b.N() == 0 {
 		// Identical to Build over an empty reader: the canonical empty
 		// summary (ErrEmpty from Bounds, zero-valued extrema), not an error.
 		return emptySummary[T](int64(b.cfg.Step())), nil
 	}
-	// Flush the tail into a copy of the state so ingestion can continue.
+	// Fold the tail into a copy of the state so ingestion can continue.
 	lists := b.lists
 	runs, leftover := b.runs, b.leftover
+	minV, maxV := b.runMin, b.runMax
+	if runs == 0 {
+		minV, maxV = b.bufMin, b.bufMax
+	}
 	if len(b.buf) > 0 {
 		step := b.cfg.Step()
 		si := len(b.buf) / step
@@ -120,21 +192,27 @@ func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
 				ranks[k-1] = k*step - 1
 			}
 			cp := append([]T(nil), b.buf...)
-			rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, runs-1)))
+			rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, b.seq)))
 			samples, err := selection.MultiSelect(cp, ranks, rng)
 			if err != nil {
 				return nil, err
 			}
 			lists = append(lists[:len(lists):len(lists)], samples)
 		}
+		if b.bufMin < minV {
+			minV = b.bufMin
+		}
+		if b.bufMax > maxV {
+			maxV = b.bufMax
+		}
 	}
 	return &Summary[T]{
 		samples:  merge.KWay(lists),
 		step:     int64(b.cfg.Step()),
 		runs:     runs,
-		n:        b.n,
+		n:        b.N(),
 		leftover: leftover,
-		min:      b.min,
-		max:      b.max,
+		min:      minV,
+		max:      maxV,
 	}, nil
 }

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"opaq/internal/core"
+)
+
+// benchBatch is one run's worth of keys for the benchmark engines.
+func benchBatch(rng *rand.Rand, n int) []int64 {
+	batch := make([]int64, n)
+	for i := range batch {
+		batch[i] = rng.Int63n(1 << 48)
+	}
+	return batch
+}
+
+// BenchmarkEngineEpochRotate measures one rotation — sealing every
+// stripe's completed runs into an epoch and applying retention — at
+// several per-rotation data sizes. The ingest cost is excluded; the
+// number reported is the seal itself (k-way sample merge + ring update).
+func BenchmarkEngineEpochRotate(b *testing.B) {
+	const runLen = 1 << 12
+	for _, runs := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("runs=%d", runs), func(b *testing.B) {
+			e, err := New[int64](Options{
+				Config:    core.Config{RunLen: runLen, SampleSize: 1 << 8},
+				Stripes:   4,
+				Retention: Retention{Kind: RetainLastK, K: 8},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			batch := benchBatch(rng, runLen)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for r := 0; r < runs; r++ {
+					if err := e.IngestBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				sealed, err := e.Rotate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sealed {
+					b.Fatal("rotation sealed nothing")
+				}
+			}
+			b.SetBytes(int64(runs * runLen * 8))
+		})
+	}
+}
+
+// BenchmarkEngineWindowedServe measures the windowed serving loop end to
+// end: run-aligned ingest under an automatic epoch policy with last-K
+// retention, with a snapshot-backed query after every batch (the
+// rebuild-amortization the version cache provides is part of what is
+// being measured).
+func BenchmarkEngineWindowedServe(b *testing.B) {
+	const runLen = 1 << 12
+	e, err := New[int64](Options{
+		Config:    core.Config{RunLen: runLen, SampleSize: 1 << 8},
+		Stripes:   4,
+		Epoch:     EpochPolicy{MaxElems: 8 * runLen},
+		Retention: Retention{Kind: RetainLastK, K: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := benchBatch(rng, runLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.IngestBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Quantile(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(runLen * 8)
+}
+
+// BenchmarkRegistryServe measures the multi-tenant hot path: concurrent
+// goroutines resolving tenants through the registry and hitting their
+// engines with a mixed ingest/query load across 8 tenants.
+func BenchmarkRegistryServe(b *testing.B) {
+	reg, err := NewRegistry(RegistryOptions[int64]{
+		Defaults: Options{
+			Config:  core.Config{RunLen: 1 << 12, SampleSize: 1 << 8},
+			Stripes: 2,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	const tenantCount = 8
+	names := make([]string, tenantCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("col%d", i)
+		eng, err := reg.Create(names[i], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm every tenant so queries have something to answer.
+		if err := eng.IngestBatch(benchBatch(rand.New(rand.NewSource(int64(i))), 1<<12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(ctr.Add(1)))
+		batch := benchBatch(rng, 64)
+		for pb.Next() {
+			eng, err := reg.Get(names[rng.Intn(tenantCount)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rng.Intn(4) == 0 {
+				if err := eng.IngestBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := eng.Quantile(1 - rng.Float64()); err != nil { // (0, 1]
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,19 +10,32 @@
 // Writes go to P lock-striped ingest shards, each owning one
 // core.StreamBuilder behind its own mutex; Ingest and IngestBatch
 // round-robin across stripes, so concurrent writers rarely contend on the
-// same lock. Reads are served from an immutable merged Snapshot that is
-// cached per ingest version: a query first checks the cached snapshot, and
-// only when ingestion has advanced does one merger rebuild the global
-// summary via core.Merge over the stripe summaries (single-flight — a
-// burst of queries behind a stale cache performs exactly one merge; the
-// rest block briefly and reuse it). Because summaries are immutable,
-// queries against a snapshot never block ingestion.
+// same lock.
+//
+// Summaries move through an epoch lifecycle (epoch.go): a rotation —
+// triggered by element count, encoded bytes, a wall-clock tick
+// (EpochPolicy), or an explicit Rotate — seals every stripe's completed
+// runs into one immutable Epoch; sealed epochs live in a ring and a
+// Retention policy (keep-all, last-K, sliding window) evicts aged ones, so
+// the engine serves windowed as well as lifetime statistics. Because
+// seals never split a run, a keep-all engine's merged state is identical
+// whether rotation ran or not.
+//
+// Reads are served from an immutable merged Snapshot that is cached per
+// ingest version: a query first checks the cached snapshot, and only when
+// ingestion (or eviction) has advanced does one merger reassemble the
+// merge set — retained epochs plus live stripes — via core.MergeAll
+// (single-flight: a burst of queries behind a stale cache performs
+// exactly one merge; the rest block briefly and reuse it). Because
+// summaries are immutable, queries against a snapshot never block
+// ingestion.
 //
 // Bulk history enters through BulkLoad (a sharded build over run-file
-// datasets) or Restore (a checkpoint written by Checkpoint); both merge
-// into a base summary that snapshot rebuilds fold in, exactly the paper's
-// Section 4 incremental story: keep the old sorted samples, sample the new
-// runs, merge.
+// datasets) or Restore (a checkpoint written by Checkpoint); each lands as
+// its own epoch, exactly the paper's Section 4 incremental story: keep the
+// old sorted samples, sample the new runs, merge. A registry of
+// independently configured engines (registry.go) serves many columns or
+// tenants behind one HTTP mux.
 package engine
 
 import (
@@ -34,6 +47,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"opaq/internal/core"
 	"opaq/internal/histogram"
@@ -57,13 +71,20 @@ type Options struct {
 	// Buckets is the equi-depth histogram resolution of snapshots
 	// (selectivity queries). 0 means DefaultBuckets.
 	Buckets int
+	// Epoch controls automatic sealing of live stripes into epochs. The
+	// zero value never seals automatically (Rotate still works).
+	Epoch EpochPolicy
+	// Retention controls how sealed epochs age out of the merge set. The
+	// zero value (RetainAll) keeps everything — lifetime statistics.
+	Retention Retention
 }
 
 // Snapshot is an immutable, internally consistent view of everything the
-// engine had absorbed when the snapshot was cut. Both fields are safe for
-// concurrent use and never mutated afterwards.
+// engine was serving when the snapshot was cut: the retained epochs plus
+// the live stripes. Both fields are safe for concurrent use and never
+// mutated afterwards.
 type Snapshot[T cmp.Ordered] struct {
-	// Summary is the merged global summary (base + every stripe).
+	// Summary is the merged summary over the snapshot's merge set.
 	Summary *core.Summary[T]
 	// Hist is the equi-depth histogram derived from Summary; nil when the
 	// snapshot is empty.
@@ -75,13 +96,28 @@ type Snapshot[T cmp.Ordered] struct {
 
 // Stats is a point-in-time report of engine state and activity.
 type Stats struct {
-	// N is the number of elements absorbed (ingested + bulk-loaded +
-	// restored).
+	// N is the number of elements absorbed over the engine's lifetime
+	// (ingested + bulk-loaded + restored), including evicted ones.
 	N int64
-	// Version counts absorb operations; the snapshot cache is keyed on it.
+	// RetainedN is the number of elements still in the merge set:
+	// N − (elements of evicted epochs).
+	RetainedN int64
+	// Version counts absorb and eviction operations; the snapshot cache is
+	// keyed on it.
 	Version uint64
 	// Stripes is the configured ingest-stripe count.
 	Stripes int
+	// Epochs is the retained ring size; SealedEpochs and EvictedEpochs
+	// count lifetime seals and evictions; EvictedN is the total element
+	// count of evicted epochs.
+	Epochs        int
+	SealedEpochs  int64
+	EvictedEpochs int64
+	EvictedN      int64
+	// PendingElems and PendingBytes describe unsealed state (live
+	// stripes); PendingBytes is what ingest backpressure bounds.
+	PendingElems int64
+	PendingBytes int64
 	// Merges is the number of snapshot rebuilds performed.
 	Merges int64
 	// Queries is the number of snapshot-backed queries served.
@@ -96,22 +132,33 @@ type Stats struct {
 // Engine is a concurrent, long-lived quantile service over elements of
 // type T. All methods are safe for concurrent use.
 type Engine[T cmp.Ordered] struct {
-	cfg     core.Config
-	buckets int
-	stripes []*stripe[T]
+	cfg      core.Config
+	buckets  int
+	policy   EpochPolicy
+	retain   Retention
+	elemSize int64
+	stripes  []*stripe[T]
 
 	next    atomic.Uint64 // round-robin ingest cursor
-	version atomic.Uint64 // bumped after every absorb (ingest, bulk load, restore)
-	count   atomic.Int64  // total elements absorbed
+	version atomic.Uint64 // bumped after every absorb or eviction
+	count   atomic.Int64  // lifetime elements absorbed
+	pending atomic.Int64  // elements not yet sealed into an epoch
+
+	epochMu       sync.Mutex                  // guards ring mutation (seal, absorb, evict)
+	ring          atomic.Pointer[[]*Epoch[T]] // immutable retained epochs, oldest first
+	nextEpoch     atomic.Uint64
+	sealedEpochs  atomic.Int64
+	evictedEpochs atomic.Int64
+	evictedN      atomic.Int64
 
 	mergeMu sync.Mutex // single-flight guard for snapshot rebuilds
 	snap    atomic.Pointer[Snapshot[T]]
 
-	baseMu sync.Mutex                      // serializes base replacement
-	base   atomic.Pointer[core.Summary[T]] // merged bulk loads + restores; nil until first absorb
-
 	merges  atomic.Int64
 	queries atomic.Int64
+
+	tickStop  chan struct{}
+	closeOnce sync.Once
 }
 
 type stripe[T cmp.Ordered] struct {
@@ -119,9 +166,16 @@ type stripe[T cmp.Ordered] struct {
 	sb *core.StreamBuilder[T]
 }
 
-// New returns an engine with freshly initialized stripes.
+// New returns an engine with freshly initialized stripes. Engines with an
+// EpochPolicy.Interval own a rotation timer and must be Closed.
 func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Epoch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Retention.Validate(); err != nil {
 		return nil, err
 	}
 	p := opts.Stripes
@@ -138,7 +192,14 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 	if buckets < 1 {
 		return nil, fmt.Errorf("%w: Buckets must be non-negative, got %d", core.ErrConfig, opts.Buckets)
 	}
-	e := &Engine[T]{cfg: opts.Config, buckets: buckets, stripes: make([]*stripe[T], p)}
+	e := &Engine[T]{
+		cfg:      opts.Config,
+		buckets:  buckets,
+		policy:   opts.Epoch,
+		retain:   opts.Retention,
+		elemSize: int64(runio.ElemSize[T]()),
+		stripes:  make([]*stripe[T], p),
+	}
 	for i := range e.stripes {
 		sb, err := core.NewStreamBuilder[T](opts.Config)
 		if err != nil {
@@ -146,7 +207,29 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 		}
 		e.stripes[i] = &stripe[T]{sb: sb}
 	}
+	empty := make([]*Epoch[T], 0)
+	e.ring.Store(&empty)
+	if opts.Epoch.Interval > 0 {
+		e.tickStop = make(chan struct{})
+		go e.rotationTimer(opts.Epoch.Interval)
+	}
 	return e, nil
+}
+
+// rotationTimer seals on a wall-clock tick until Close.
+func (e *Engine[T]) rotationTimer(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.tickStop:
+			return
+		case <-t.C:
+			// A failed rotation (impossible with matching configs) leaves
+			// data live; the next trigger retries.
+			e.Rotate()
+		}
+	}
 }
 
 // Ingest observes one element. The ingest version is bumped only after the
@@ -161,8 +244,9 @@ func (e *Engine[T]) Ingest(v T) error {
 		return err
 	}
 	e.count.Add(1)
+	e.pending.Add(1)
 	e.version.Add(1)
-	return nil
+	return e.maybeRotate()
 }
 
 // IngestBatch observes a batch of elements. The whole batch lands on one
@@ -180,20 +264,24 @@ func (e *Engine[T]) IngestBatch(vs []T) error {
 		return err
 	}
 	e.count.Add(int64(len(vs)))
+	e.pending.Add(int64(len(vs)))
 	e.version.Add(1)
-	return nil
+	return e.maybeRotate()
 }
 
-// N returns the total number of elements absorbed so far.
+// N returns the total number of elements absorbed over the engine's
+// lifetime, including elements of evicted epochs. RetainedN in Stats
+// counts only the merge set queries serve from.
 func (e *Engine[T]) N() int64 { return e.count.Load() }
 
-// Snapshot returns a consistent merged view of everything absorbed. When
-// the ingest version matches the cached snapshot it is returned without
-// any locking; otherwise one caller rebuilds while concurrent callers wait
-// and reuse the result (single-flight).
+// Snapshot returns a consistent merged view of the current merge set
+// (retained epochs + live stripes). When the ingest version matches the
+// cached snapshot it is returned without any locking; otherwise one caller
+// rebuilds while concurrent callers wait and reuse the result
+// (single-flight).
 func (e *Engine[T]) Snapshot() (*Snapshot[T], error) {
 	cur := e.version.Load()
-	if s := e.snap.Load(); s != nil && s.Version == cur {
+	if s := e.snap.Load(); s != nil && s.Version == cur && !e.oldestExpired() {
 		return s, nil
 	}
 	e.mergeMu.Lock()
@@ -201,32 +289,60 @@ func (e *Engine[T]) Snapshot() (*Snapshot[T], error) {
 	// Re-check under the merge lock: a burst of queries behind one stale
 	// cache line up here, and all but the first see the fresh snapshot.
 	cur = e.version.Load()
-	if s := e.snap.Load(); s != nil && s.Version == cur {
+	if s := e.snap.Load(); s != nil && s.Version == cur && !e.oldestExpired() {
 		return s, nil
 	}
 	return e.rebuildLocked(cur)
 }
 
-// rebuildLocked cuts a fresh snapshot. The version was read before the
-// stripes, so the snapshot may contain newer elements than it is labeled
-// with — a later query then merely rebuilds again; it never serves data
-// older than its label promises.
+// oldestExpired reports whether a sliding wall-clock window has an epoch
+// due for eviction — the one case where a version-matched cached snapshot
+// is still stale, because time alone advanced the retention boundary.
+func (e *Engine[T]) oldestExpired() bool {
+	if e.retain.Kind != RetainMaxAge {
+		return false
+	}
+	ring := *e.ring.Load()
+	return len(ring) > 0 && time.Since(ring[0].SealedAt) > e.retain.MaxAge
+}
+
+// rebuildLocked cuts a fresh snapshot by reassembling the merge set. The
+// version was read before the merge set, so the snapshot may reflect newer
+// state than it is labeled with — a later query then merely rebuilds
+// again; it never serves data older than its label promises. epochMu is
+// held while the ring and stripes are read so a concurrent rotation cannot
+// move elements between them mid-read (which would double-count or drop a
+// stripe).
 func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
-	acc := e.base.Load() // immutable; nil until a bulk load or restore
+	e.epochMu.Lock()
+	// A sliding window must age out even when nothing rotates or ingests:
+	// a quiet engine's queries drop expired epochs here.
+	if e.retain.Kind == RetainMaxAge && e.applyRetentionLocked(time.Now()) {
+		e.version.Add(1)
+		version = e.version.Load()
+	}
+	ring := *e.ring.Load()
+	sums := make([]*core.Summary[T], 0, len(ring)+len(e.stripes))
+	for _, ep := range ring {
+		sums = append(sums, ep.Summary)
+	}
 	for _, st := range e.stripes {
 		st.mu.Lock()
 		sum, err := st.sb.Summary()
 		st.mu.Unlock()
 		if err != nil {
+			e.epochMu.Unlock()
 			return nil, err
 		}
-		if acc == nil {
-			acc = sum
-			continue
-		}
-		if acc, err = core.Merge(acc, sum); err != nil {
-			return nil, err
-		}
+		sums = append(sums, sum)
+	}
+	e.epochMu.Unlock()
+
+	// The merge set is immutable from here on; the k-way merge runs
+	// without any engine lock but mergeMu.
+	acc, err := core.MergeAll(sums)
+	if err != nil {
+		return nil, err
 	}
 	snap := &Snapshot[T]{Summary: acc, Version: version}
 	if acc.N() > 0 {
@@ -241,8 +357,8 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 	return snap, nil
 }
 
-// Quantile returns the deterministic enclosure of the φ-quantile over
-// everything absorbed, from the current snapshot.
+// Quantile returns the deterministic enclosure of the φ-quantile over the
+// retained window, from the current snapshot.
 func (e *Engine[T]) Quantile(phi float64) (core.Bounds[T], error) {
 	s, err := e.Snapshot()
 	if err != nil {
@@ -263,7 +379,7 @@ func (e *Engine[T]) Quantiles(q int) ([]core.Bounds[T], error) {
 	return s.Summary.Quantiles(q)
 }
 
-// RankBounds returns deterministic bounds on the number of absorbed
+// RankBounds returns deterministic bounds on the number of retained
 // elements ≤ x.
 func (e *Engine[T]) RankBounds(x T) (lo, hi int64, err error) {
 	s, err := e.Snapshot()
@@ -276,7 +392,7 @@ func (e *Engine[T]) RankBounds(x T) (lo, hi int64, err error) {
 }
 
 // RangeEstimate answers a range predicate from one snapshot: the
-// selectivity (fraction of absorbed elements in [a, b]), the raw element
+// selectivity (fraction of retained elements in [a, b]), the raw element
 // estimate it is derived from, and the histogram's deterministic absolute
 // error ceiling — mutually consistent even while ingestion advances.
 // Empty engines report core.ErrEmpty.
@@ -293,14 +409,14 @@ func (e *Engine[T]) RangeEstimate(a, b T) (sel, estimate, maxErr float64, err er
 	return estimate / float64(s.Hist.N()), estimate, s.Hist.MaxRangeError(), nil
 }
 
-// Selectivity estimates the fraction of absorbed elements in [a, b] from
+// Selectivity estimates the fraction of retained elements in [a, b] from
 // the snapshot's equi-depth histogram. Empty engines report core.ErrEmpty.
 func (e *Engine[T]) Selectivity(a, b T) (float64, error) {
 	sel, _, _, err := e.RangeEstimate(a, b)
 	return sel, err
 }
 
-// EstimateRange estimates the number of absorbed elements in [a, b], with
+// EstimateRange estimates the number of retained elements in [a, b], with
 // the histogram's deterministic error ceiling as the second result.
 func (e *Engine[T]) EstimateRange(a, b T) (estimate, maxErr float64, err error) {
 	_, estimate, maxErr, err = e.RangeEstimate(a, b)
@@ -310,13 +426,38 @@ func (e *Engine[T]) EstimateRange(a, b T) (estimate, maxErr float64, err error) 
 // Stats reports engine state without forcing a snapshot rebuild (the
 // snapshot columns describe the cached snapshot, which may trail N).
 func (e *Engine[T]) Stats() Stats {
-	st := Stats{
-		N:       e.count.Load(),
-		Version: e.version.Load(),
-		Stripes: len(e.stripes),
-		Merges:  e.merges.Load(),
-		Queries: e.queries.Load(),
+	// Report the ring a query issued now would serve: under RetainMaxAge,
+	// epochs past their age are excluded (and their elements subtracted
+	// from RetainedN) even if no rotation or rebuild has physically
+	// evicted them yet — otherwise an idle engine's healthz would show
+	// retained data that any query would immediately age out. The ring
+	// and eviction counters are read under epochMu so a concurrent
+	// eviction of an expired epoch cannot be subtracted twice.
+	e.epochMu.Lock()
+	full := *e.ring.Load()
+	cut := e.expiredCut(full, time.Now())
+	live := full[cut:]
+	var expiredN int64
+	for _, ep := range full[:cut] {
+		expiredN += ep.Summary.N()
 	}
+	evictedEpochs := e.evictedEpochs.Load()
+	evictedN := e.evictedN.Load()
+	e.epochMu.Unlock()
+	st := Stats{
+		N:             e.count.Load(),
+		Version:       e.version.Load(),
+		Stripes:       len(e.stripes),
+		Epochs:        len(live),
+		SealedEpochs:  e.sealedEpochs.Load(),
+		EvictedEpochs: evictedEpochs,
+		EvictedN:      evictedN,
+		PendingElems:  e.pending.Load(),
+		PendingBytes:  e.pending.Load() * e.elemSize,
+		Merges:        e.merges.Load(),
+		Queries:       e.queries.Load(),
+	}
+	st.RetainedN = st.N - st.EvictedN - expiredN
 	if s := e.snap.Load(); s != nil {
 		st.SnapshotN = s.Summary.N()
 		st.SnapshotSamples = s.Summary.SampleCount()
@@ -327,18 +468,21 @@ func (e *Engine[T]) Stats() Stats {
 
 // BulkLoad seeds the engine from per-shard datasets (typically run-file
 // sections from runio.ShardFile) via the sharded build: every shard runs
-// the full local sample phase concurrently, and the merged result is
-// absorbed as history alongside live ingestion.
+// the full local sample phase concurrently, and the merged result lands as
+// one epoch alongside live ingestion.
 func (e *Engine[T]) BulkLoad(datasets []runio.Dataset[T], opts parallel.ShardOptions) error {
 	sum, err := parallel.BuildSharded(datasets, e.cfg, opts)
 	if err != nil {
 		return err
 	}
-	return e.absorb(sum)
+	return e.absorb(sum, EpochBulk)
 }
 
-// absorb merges an externally built summary into the engine's base.
-func (e *Engine[T]) absorb(sum *core.Summary[T]) error {
+// absorb lands an externally built summary in the ring as its own epoch.
+// It is deliberately NOT merged into live stripes or an existing epoch:
+// retention treats restored history like any other epoch, and a
+// checkpoint cut concurrently always sees either all of it or none.
+func (e *Engine[T]) absorb(sum *core.Summary[T], src EpochSource) error {
 	if sum.N() == 0 {
 		return nil
 	}
@@ -346,26 +490,20 @@ func (e *Engine[T]) absorb(sum *core.Summary[T]) error {
 		return fmt.Errorf("%w: summary step %d, engine step %d (same RunLen/SampleSize ratio required)",
 			core.ErrIncompatible, sum.Step(), e.cfg.Step())
 	}
-	added := sum.N()
-	e.baseMu.Lock()
-	defer e.baseMu.Unlock()
-	if cur := e.base.Load(); cur != nil {
-		merged, err := core.Merge(cur, sum)
-		if err != nil {
-			return err
-		}
-		sum = merged
-	}
-	e.base.Store(sum)
-	e.count.Add(added)
+	e.epochMu.Lock()
+	e.appendEpochLocked(&Epoch[T]{Summary: sum, SealedAt: time.Now(), Source: src})
+	e.applyRetentionLocked(time.Now())
+	e.epochMu.Unlock()
+	e.count.Add(sum.N())
 	e.version.Add(1)
 	return nil
 }
 
-// Checkpoint writes the engine's current merged summary to w in the
-// checksummed SaveSummary format. The checkpoint captures everything
-// absorbed up to the snapshot it cuts; a Restore of it into a fresh engine
-// yields a byte-identical next checkpoint.
+// Checkpoint writes the engine's current merged summary (the retained
+// window) to w in the checksummed SaveSummary format. The checkpoint
+// captures a consistent snapshot — concurrent rotations cannot tear it —
+// and a Restore of it into a fresh engine yields a byte-identical next
+// checkpoint.
 func (e *Engine[T]) Checkpoint(w io.Writer, codec runio.Codec[T]) error {
 	s, err := e.Snapshot()
 	if err != nil {
@@ -406,15 +544,15 @@ func (e *Engine[T]) CheckpointFile(path string, codec runio.Codec[T]) error {
 }
 
 // Restore absorbs a checkpoint written by Checkpoint (with the same codec
-// and RunLen/SampleSize ratio) as engine history. Restoring into a
-// non-empty engine merges, so shards of history can be restored one by
-// one.
+// and RunLen/SampleSize ratio) as its own epoch. Restoring into a
+// non-empty engine is safe — live and previously restored state is
+// untouched — so shards of history can be restored one by one.
 func (e *Engine[T]) Restore(r io.Reader, codec runio.Codec[T]) error {
 	sum, err := core.LoadSummary[T](r, codec)
 	if err != nil {
 		return err
 	}
-	return e.absorb(sum)
+	return e.absorb(sum, EpochRestore)
 }
 
 // RestoreFile restores from a checkpoint file.

@@ -1,0 +1,271 @@
+// Multi-tenant registry: one Engine per tenant (a column, a table, a
+// metric) behind a single server — the optimizer-statistics story where
+// every tracked column keeps its own independently configured quantile
+// summary. Tenants checkpoint to separate files in a checkpoint directory
+// and are restored from it on boot, so a restarted server resumes with
+// warm statistics for every tenant.
+package engine
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"opaq/internal/core"
+	"opaq/internal/runio"
+)
+
+// DefaultTenant is the tenant the registry handler's root (non-/t/)
+// routes address, for backward compatibility with the single-engine API.
+const DefaultTenant = "default"
+
+// checkpointExt is the per-tenant checkpoint file suffix; the basename is
+// the tenant name.
+const checkpointExt = ".ckpt"
+
+// Registry errors.
+var (
+	// ErrUnknownTenant reports a lookup of a tenant that does not exist.
+	ErrUnknownTenant = errors.New("engine: unknown tenant")
+	// ErrTenantExists reports a Create of a tenant that already exists.
+	ErrTenantExists = errors.New("engine: tenant already exists")
+	// ErrTenantName reports a tenant name unfit for routing and filenames.
+	ErrTenantName = errors.New("engine: invalid tenant name")
+)
+
+// tenantNameRe admits names safe to appear in URL paths and checkpoint
+// filenames: must start with an alphanumeric, then alphanumerics, dot,
+// underscore or dash, at most 64 runes total.
+var tenantNameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidTenantName reports whether name can identify a tenant.
+func ValidTenantName(name string) bool {
+	return tenantNameRe.MatchString(name) && !strings.Contains(name, "..")
+}
+
+// RegistryOptions configures NewRegistry.
+type RegistryOptions[T cmp.Ordered] struct {
+	// Defaults is the engine configuration tenants are created with when
+	// Create is not given explicit options, and the template boot-restored
+	// tenants start from.
+	Defaults Options
+	// CheckpointDir, when non-empty, enables per-tenant persistence:
+	// CheckpointAll writes <dir>/<tenant>.ckpt atomically, and NewRegistry
+	// restores every *.ckpt found there. The directory is created if
+	// missing.
+	CheckpointDir string
+	// Codec encodes elements in checkpoint files. Required when
+	// CheckpointDir is set.
+	Codec runio.Codec[T]
+}
+
+// Registry maps tenant names to independently configured engines. All
+// methods are safe for concurrent use.
+type Registry[T cmp.Ordered] struct {
+	opts    RegistryOptions[T]
+	mu      sync.RWMutex
+	tenants map[string]*Engine[T]
+	// fileMu serializes checkpoint-file writes and removals so a
+	// CheckpointAll racing a Delete cannot recreate a deleted tenant's
+	// file (which would resurrect it on the next boot).
+	fileMu sync.Mutex
+}
+
+// NewRegistry returns a registry, restoring any per-tenant checkpoints
+// found in CheckpointDir (restore-on-boot). A restored checkpoint whose
+// step differs from the defaults adapts SampleSize so the engine can
+// absorb it (RunLen must be divisible by the checkpoint's step).
+func NewRegistry[T cmp.Ordered](opts RegistryOptions[T]) (*Registry[T], error) {
+	if err := opts.Defaults.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointDir != "" && opts.Codec == nil {
+		return nil, fmt.Errorf("%w: CheckpointDir set without a Codec", core.ErrConfig)
+	}
+	r := &Registry[T]{opts: opts, tenants: make(map[string]*Engine[T])}
+	if opts.CheckpointDir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint dir: %w", err)
+	}
+	ents, err := os.ReadDir(opts.CheckpointDir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint dir: %w", err)
+	}
+	for _, ent := range ents {
+		name, ok := strings.CutSuffix(ent.Name(), checkpointExt)
+		if !ok || ent.IsDir() || !ValidTenantName(name) {
+			continue
+		}
+		if err := r.restoreTenant(name, filepath.Join(opts.CheckpointDir, ent.Name())); err != nil {
+			// The half-built registry is about to become unreachable:
+			// stop the already-restored engines' rotation timers so a
+			// retrying caller does not accumulate orphaned goroutines.
+			r.Close()
+			return nil, fmt.Errorf("engine: restoring tenant %q: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// restoreTenant boots one tenant from its checkpoint file.
+func (r *Registry[T]) restoreTenant(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := core.LoadSummary[T](f, r.opts.Codec)
+	if err != nil {
+		return err
+	}
+	opts := r.opts.Defaults
+	if step := int(sum.Step()); sum.N() > 0 && step != opts.Config.Step() {
+		// The checkpoint fixes the step; re-derive SampleSize around it so
+		// merges stay compatible.
+		if step <= 0 || opts.Config.RunLen%step != 0 {
+			return fmt.Errorf("%w: checkpoint step %d incompatible with RunLen %d",
+				core.ErrIncompatible, step, opts.Config.RunLen)
+		}
+		opts.Config.SampleSize = opts.Config.RunLen / step
+	}
+	eng, err := New[T](opts)
+	if err != nil {
+		return err
+	}
+	if err := eng.absorb(sum, EpochRestore); err != nil {
+		eng.Close()
+		return err
+	}
+	r.tenants[name] = eng
+	return nil
+}
+
+// Create adds a tenant. opts nil means the registry defaults; a non-nil
+// opts configures this tenant independently (its own epoch policy,
+// retention, stripes — only the element type is shared).
+func (r *Registry[T]) Create(name string, opts *Options) (*Engine[T], error) {
+	if !ValidTenantName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrTenantName, name)
+	}
+	o := r.opts.Defaults
+	if opts != nil {
+		o = *opts
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	eng, err := New[T](o)
+	if err != nil {
+		return nil, err
+	}
+	r.tenants[name] = eng
+	return eng, nil
+}
+
+// Get returns the tenant's engine.
+func (r *Registry[T]) Get(name string) (*Engine[T], error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	eng, ok := r.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return eng, nil
+}
+
+// Names returns the tenant names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a tenant, stops its rotation timer and deletes its
+// checkpoint file (so it does not resurrect on the next boot).
+func (r *Registry[T]) Delete(name string) error {
+	r.mu.Lock()
+	eng, ok := r.tenants[name]
+	delete(r.tenants, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	eng.Close()
+	if r.opts.CheckpointDir != "" {
+		// The map entry is already gone, so once fileMu is ours any
+		// concurrent CheckpointAll either wrote the file before this
+		// removal or will skip the tenant on its membership re-check.
+		r.fileMu.Lock()
+		err := os.Remove(r.checkpointPath(name))
+		r.fileMu.Unlock()
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointPath is the tenant's checkpoint file path.
+func (r *Registry[T]) checkpointPath(name string) string {
+	return filepath.Join(r.opts.CheckpointDir, name+checkpointExt)
+}
+
+// CheckpointAll atomically writes every tenant's current summary to its
+// own file in CheckpointDir. Tenants keep serving during the write; each
+// file is an internally consistent snapshot. The first error is returned
+// after attempting every tenant.
+func (r *Registry[T]) CheckpointAll() error {
+	if r.opts.CheckpointDir == "" {
+		return fmt.Errorf("%w: registry has no CheckpointDir", core.ErrConfig)
+	}
+	r.mu.RLock()
+	engines := make(map[string]*Engine[T], len(r.tenants))
+	for n, e := range r.tenants {
+		engines[n] = e
+	}
+	r.mu.RUnlock()
+	var firstErr error
+	for n, e := range engines {
+		// Re-check membership under fileMu: a tenant deleted since the
+		// snapshot above must not get its checkpoint file recreated.
+		r.fileMu.Lock()
+		r.mu.RLock()
+		_, alive := r.tenants[n]
+		r.mu.RUnlock()
+		var err error
+		if alive {
+			err = e.CheckpointFile(r.checkpointPath(n), r.opts.Codec)
+		}
+		r.fileMu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: checkpointing tenant %q: %w", n, err)
+		}
+	}
+	return firstErr
+}
+
+// Close stops every tenant's rotation timer. The registry is not usable
+// afterwards for timer-driven rotation, but engines keep answering.
+func (r *Registry[T]) Close() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.tenants {
+		e.Close()
+	}
+	return nil
+}

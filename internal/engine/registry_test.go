@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"opaq/internal/core"
+	"opaq/internal/runio"
+)
+
+func testRegistryOptions(dir string) RegistryOptions[int64] {
+	return RegistryOptions[int64]{
+		Defaults: Options{
+			Config:  core.Config{RunLen: 512, SampleSize: 64, Seed: 1},
+			Stripes: 2,
+			Buckets: 16,
+		},
+		CheckpointDir: dir,
+		Codec:         runio.Int64Codec{},
+	}
+}
+
+// TestRegistryLifecycle drives create / get / list / delete and the error
+// cases.
+func TestRegistryLifecycle(t *testing.T) {
+	r, err := NewRegistry(testRegistryOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.Get("latency"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("get missing tenant err = %v, want ErrUnknownTenant", err)
+	}
+	a, err := r.Create("latency", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("latency", nil); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate create err = %v, want ErrTenantExists", err)
+	}
+	for _, bad := range []string{"", "../etc", "a/b", ".hidden", "käse", "x..y", string(make([]byte, 80))} {
+		if _, err := r.Create(bad, nil); !errors.Is(err, ErrTenantName) {
+			t.Errorf("create %q err = %v, want ErrTenantName", bad, err)
+		}
+	}
+	// A tenant with its own options is independent of the defaults.
+	custom := Options{
+		Config:    core.Config{RunLen: 256, SampleSize: 16},
+		Stripes:   1,
+		Retention: Retention{Kind: RetainLastK, K: 2},
+	}
+	if _, err := r.Create("bytes_sent", &custom); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "bytes_sent" || names[1] != "latency" {
+		t.Fatalf("names = %v", names)
+	}
+	got, err := r.Get("latency")
+	if err != nil || got != a {
+		t.Fatalf("get returned %p (%v), want %p", got, err, a)
+	}
+	if err := r.Delete("bytes_sent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("bytes_sent"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("double delete err = %v, want ErrUnknownTenant", err)
+	}
+	if got := r.Names(); len(got) != 1 {
+		t.Fatalf("names after delete = %v", got)
+	}
+}
+
+// TestRegistryCheckpointRestoreWarm pins the multi-tenant acceptance
+// criterion's persistence half: tenants ingesting concurrently checkpoint
+// to separate files and a new registry over the same directory boots them
+// warm, serving independent answers.
+func TestRegistryCheckpointRestoreWarm(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two tenants with disjoint key ranges ingest concurrently.
+	tenants := map[string]int64{"orders.price": 1 << 20, "users.age": 1 << 40}
+	for name := range tenants {
+		if _, err := r.Create(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for name, base := range tenants {
+		wg.Add(1)
+		go func(name string, base int64) {
+			defer wg.Done()
+			eng, err := r.Get(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewSource(base))
+			for i := 0; i < 20; i++ {
+				batch := make([]int64, 300)
+				for j := range batch {
+					batch[j] = base + rng.Int63n(1000)
+				}
+				if err := eng.IngestBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name, base)
+	}
+	wg.Wait()
+	if err := r.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	for name := range tenants {
+		if _, err := os.Stat(filepath.Join(dir, name+checkpointExt)); err != nil {
+			t.Fatalf("tenant %q has no checkpoint file: %v", name, err)
+		}
+	}
+
+	// Boot a fresh registry over the same directory: both tenants restore
+	// warm and answer from their own (disjoint) key ranges.
+	r2, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Names(); len(got) != 2 {
+		t.Fatalf("restored tenants = %v", got)
+	}
+	for name, base := range tenants {
+		eng, err := r2.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.N() != 6000 {
+			t.Fatalf("tenant %q restored N = %d, want 6000", name, eng.N())
+		}
+		b, err := eng.Quantile(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Lower < base || b.Upper >= base+1000 {
+			t.Fatalf("tenant %q median [%d, %d] outside its key range [%d, %d)",
+				name, b.Lower, b.Upper, base, base+1000)
+		}
+		// The restored summary landed as a restore epoch.
+		ring := eng.Epochs()
+		if len(ring) != 1 || ring[0].Source != EpochRestore {
+			t.Fatalf("tenant %q restored ring = %+v", name, ring)
+		}
+	}
+
+	// Delete removes the checkpoint so the tenant stays gone on reboot.
+	if err := r2.Delete("users.age"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "users.age"+checkpointExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("deleted tenant's checkpoint still on disk (err=%v)", err)
+	}
+	r3, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if got := r3.Names(); len(got) != 1 || got[0] != "orders.price" {
+		t.Fatalf("post-delete reboot tenants = %v", got)
+	}
+}
+
+// TestRegistryRestoreAdaptsStep verifies restore-on-boot of a checkpoint
+// whose step differs from the registry defaults: SampleSize is re-derived
+// so the engine can merge it, instead of failing the boot.
+func TestRegistryRestoreAdaptsStep(t *testing.T) {
+	dir := t.TempDir()
+	// Write a checkpoint with step 4 (RunLen 64 / SampleSize 16).
+	src, err := New[int64](Options{Config: core.Config{RunLen: 64, SampleSize: 16}, Stripes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		if err := src.Ingest(rng.Int63n(1 << 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.CheckpointFile(filepath.Join(dir, "metric"+checkpointExt), runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Defaults use step 8 (512/64); 512 % 4 == 0, so the boot adapts
+	// SampleSize to 128.
+	r, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	eng, err := r.Get("metric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.N() != 500 {
+		t.Fatalf("restored N = %d", eng.N())
+	}
+	// Live ingest merges cleanly with the adapted step.
+	if err := eng.IngestBatch(make([]int64, 600)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Summary.N() != 1100 {
+		t.Fatalf("merged N = %d", snap.Summary.N())
+	}
+
+	// An incompatible step (not dividing RunLen) fails the boot loudly.
+	dir2 := t.TempDir()
+	src2, err := New[int64](Options{Config: core.Config{RunLen: 63, SampleSize: 9}, Stripes: 1}) // step 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.IngestBatch(make([]int64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.CheckpointFile(filepath.Join(dir2, "bad"+checkpointExt), runio.Int64Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(testRegistryOptions(dir2)); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("incompatible-step boot err = %v, want ErrIncompatible", err)
+	}
+}
+
+// TestRegistryNoDir pins the in-memory registry: no persistence, and
+// CheckpointAll reports a config error instead of writing nowhere.
+func TestRegistryNoDir(t *testing.T) {
+	opts := testRegistryOptions("")
+	opts.Codec = nil
+	r, err := NewRegistry(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Create("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckpointAll(); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("CheckpointAll without dir err = %v, want ErrConfig", err)
+	}
+	if err := r.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint dir without a codec is rejected up front.
+	bad := testRegistryOptions(t.TempDir())
+	bad.Codec = nil
+	if _, err := NewRegistry(bad); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("dir-without-codec err = %v, want ErrConfig", err)
+	}
+}

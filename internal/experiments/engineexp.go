@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/engine"
+)
+
+// EngineSweep is an extension experiment beyond the paper's evaluation:
+// it measures the live serving engine's epoch lifecycle — the paper's
+// Section 4 incremental maintenance running continuously — over one
+// in-memory stream. Each row is a retention configuration of the same
+// engine: keep-all with no rotation (the merge set grows forever),
+// keep-all with periodic sealing (same answers, bounded per-rotation
+// work), and two sliding windows. Reported are the wall-clock ingest+query
+// time (a median query after every batch, so snapshot rebuild
+// amortization is included), the rotations performed, and what remains
+// retained at the end.
+func EngineSweep(scale int) (*Table, error) {
+	n := scaleN(8_000_000, scale)
+	const runLen = 1 << 14
+	const batch = runLen // run-aligned batches: every batch completes a run
+	cfg := core.Config{RunLen: runLen, SampleSize: 1 << 8, Seed: seqSeed}
+
+	xs := datagen.Generate(datagen.NewUniform(seqSeed, 1<<62), n)
+
+	t := &Table{
+		ID:     "Extension: engine",
+		Title:  fmt.Sprintf("Epoch lifecycle serving cost (n=%s streamed, m=%d, s=%d, median query per batch)", humanN(n), cfg.RunLen, cfg.SampleSize),
+		Header: []string{"Lifecycle", "ingest+query time", "seals", "evictions", "retained n", "snapshot samples"},
+		Notes: []string{
+			"paper §4 (incremental maintenance) run as a service: sealed epochs merge on snapshot rebuild",
+			"keep-all rows answer identically (seals never split a run); windowed rows serve only the retained epochs",
+		},
+	}
+	configs := []struct {
+		label string
+		opts  engine.Options
+	}{
+		{"keep-all, no rotation", engine.Options{Config: cfg, Stripes: 4}},
+		{"keep-all, seal/4 runs", engine.Options{
+			Config: cfg, Stripes: 4,
+			Epoch: engine.EpochPolicy{MaxElems: 4 * runLen},
+		}},
+		{"window: last 8 epochs", engine.Options{
+			Config: cfg, Stripes: 4,
+			Epoch:     engine.EpochPolicy{MaxElems: 4 * runLen},
+			Retention: engine.Retention{Kind: engine.RetainLastK, K: 8},
+		}},
+		{"window: last 2 epochs", engine.Options{
+			Config: cfg, Stripes: 4,
+			Epoch:     engine.EpochPolicy{MaxElems: 4 * runLen},
+			Retention: engine.Retention{Kind: engine.RetainLastK, K: 2},
+		}},
+	}
+	for _, c := range configs {
+		e, err := engine.New[int64](c.opts)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for off := 0; off < len(xs); off += batch {
+			end := min(off+batch, len(xs))
+			if err := e.IngestBatch(xs[off:end]); err != nil {
+				return nil, err
+			}
+			if _, err := e.Quantile(0.5); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		st := e.Stats()
+		t.AddRow(c.label,
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", st.SealedEpochs),
+			fmt.Sprintf("%d", st.EvictedEpochs),
+			humanN(int(st.RetainedN)),
+			fmt.Sprintf("%d", st.SnapshotSamples))
+	}
+	return t, nil
+}
