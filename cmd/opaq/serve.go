@@ -35,6 +35,8 @@ func cmdServe(args []string) error {
 	epochInterval := fs.Duration("epoch-interval", 0, "seal an epoch on this wall-clock tick (0 = no timer)")
 	window := fs.Int("window", 0, "retain only the last K sealed epochs (0 = keep all; windowed serving)")
 	retainAge := fs.Duration("retain-age", 0, "retain only epochs sealed within this trailing window (0 = keep all)")
+	compact := fs.Bool("compact", false, "binary-buddy compact sealed epochs after each rotation: answers unchanged, ring depth bounded at O(log seals)")
+	compactMin := fs.Int("compact-min", 0, "compact only while the epoch ring holds more than this many entries (0 = always; preserves eviction granularity for shallow rings)")
 	tenants := fs.String("tenants", "", "comma-separated tenants to create at boot (the default tenant always exists)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory of per-tenant checkpoints: restored on boot, written on graceful shutdown")
 	maxBody := fs.Int64("max-body", 0, "cap one POST /ingest body in bytes (0 = 8 MiB default, -1 = uncapped)")
@@ -91,7 +93,11 @@ func cmdServe(args []string) error {
 			MaxBytes: *epochBytes,
 			Interval: *epochInterval,
 		},
-		Retention: retention,
+		Retention:  retention,
+		Compaction: opaq.EngineCompactionPolicy{Enabled: *compact, MinEpochs: *compactMin},
+		// -max-pending stays an HTTP-layer bound here: the handler heals
+		// (rotates) before shedding, which engine-side admission — built
+		// for writers that bypass HTTP — deliberately does not.
 	}
 
 	reg, err := opaq.NewEngineRegistry(opaq.EngineRegistryOptions[int64]{

@@ -117,6 +117,95 @@ func TestCmdServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCmdServeCompact drives -compact end to end: a serving process under
+// an aggressive epoch policy seals dozens of epochs, and /healthz must
+// report a logarithmically bounded ring ("epochs") alongside nonzero
+// "compactions" — while quantile answers keep flowing.
+func TestCmdServeCompact(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr, "-m", "512", "-s", "64", "-stripes", "1",
+			"-epoch", "512", "-compact",
+		})
+	}()
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Second}
+	up := false
+	for i := 0; i < 100 && !up; i++ {
+		if resp, err := client.Get(base + "/healthz"); err == nil {
+			up = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if !up {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !up {
+		t.Fatal("server never became healthy")
+	}
+
+	// 40 run-aligned batches: one seal each under -epoch 512.
+	var keys []string
+	for i := 0; i < 512; i++ {
+		keys = append(keys, strconv.Itoa(i))
+	}
+	body := `{"keys":[` + strings.Join(keys, ",") + `]}`
+	for batch := 0; batch < 40; batch++ {
+		resp, err := client.Post(base+"/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: status %d", batch, resp.StatusCode)
+		}
+	}
+
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sealed := st["sealed_epochs"].(float64)
+	ring := st["epochs"].(float64)
+	compactions := st["compactions"].(float64)
+	if sealed < 30 {
+		t.Fatalf("only %g epochs sealed; the policy should have rotated ~40 times", sealed)
+	}
+	if compactions == 0 {
+		t.Fatal("server never compacted despite -compact")
+	}
+	if ring >= sealed/2 || ring > 8 {
+		t.Fatalf("ring depth %g not compacted (sealed %g)", ring, sealed)
+	}
+	resp, err = client.Get(base + "/quantile?phi=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quantile on compacted server: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down within 10s of SIGTERM")
+	}
+}
+
 // TestCmdServeFlagValidation pins the trigger-dependency checks: retention
 // and pending-bytes backpressure are inert (or a permanent 429) without an
 // epoch seal trigger, so serve must refuse the combination up front.

@@ -31,6 +31,18 @@ type EngineEpochPolicy = engine.EpochPolicy
 // see engine.Retention.
 type EngineRetention = engine.Retention
 
+// EngineCompactionPolicy controls binary-buddy compaction of the sealed
+// epoch ring: adjacent same-tier epochs merge after rotations and on
+// snapshot rebuilds, holding the ring at O(log N) entries with every
+// answer — and the checkpoint bytes — provably unchanged; see
+// engine.CompactionPolicy.
+type EngineCompactionPolicy = engine.CompactionPolicy
+
+// ErrEngineBacklogged reports an ingest rejected by engine-side bounded
+// admission (EngineOptions.MaxPending); back off — Engine.SealInterval
+// hints how long — and retry after a rotation seals the backlog.
+var ErrEngineBacklogged = engine.ErrBacklogged
+
 // RetentionKind selects an eviction policy; see engine.RetentionKind.
 type RetentionKind = engine.RetentionKind
 

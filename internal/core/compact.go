@@ -1,0 +1,145 @@
+package core
+
+import (
+	"cmp"
+	"math/bits"
+)
+
+// Merge-set compaction. A long-lived epoch lifecycle accumulates one
+// summary per seal, so the merge set a snapshot rebuild reassembles — and
+// the ring a retention policy walks — grows linearly with time. Because
+// OPAQ summaries are mergeable without information loss (MergeAll: the
+// sample multiset, counts and extrema are order-independent), adjacent
+// summaries can be pre-merged at any time without changing a single
+// answer. CompactSummaries does so binary-buddy style, the size-tiered
+// scheme of LSM trees and binomial heaps: summaries whose element counts
+// share a power-of-two tier merge pairwise, each merged pair lands one
+// tier up and may cascade into its neighbor, and the fixpoint holds
+// O(log N) summaries.
+//
+// Only ADJACENT summaries merge, so a chronologically ordered set stays
+// chronologically ordered — each output covers a contiguous span of the
+// inputs — and age- or count-based retention keeps working on the
+// compacted set.
+
+// SizeTier returns the binary-buddy size tier of an element count:
+// ⌊log₂ n⌋, with n ≤ 1 mapping to tier 0. Merging two tier-t summaries
+// always yields a tier-(t+1) summary (the sum of two values in
+// [2ᵗ, 2ᵗ⁺¹) lies in [2ᵗ⁺¹, 2ᵗ⁺²)), which is what makes greedy buddy
+// merging behave like a binary counter and bounds the compacted set's
+// size logarithmically.
+func SizeTier(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n)) - 1
+}
+
+// PlanBuddies computes a greedy binary-buddy compaction plan over an
+// ordered (oldest-first) list of element counts. Scanning left to right,
+// an adjacent pair merges when the older entry's tier is at or below the
+// newer entry's — same-tier buddies (the binary-counter core) and
+// undersized older entries that would otherwise stall behind a larger
+// newer neighbor both fold — and passes repeat until a fixpoint. At the
+// fixpoint tiers strictly decrease from oldest to newest, so the plan
+// holds at most one entry per occupied tier: ≤ log₂(ΣN)+1 entries.
+//
+// The result is the ordered list of half-open index spans [start, end)
+// into ns, covering all of ns; a span of width 1 is an entry left alone.
+// A nil or empty ns yields an empty plan.
+func PlanBuddies(ns []int64) [][2]int {
+	return PlanBuddiesBy(ns,
+		func(n int64) int64 { return n },
+		func(a, b int64) int64 { return a + b },
+		nil)
+}
+
+// PlanBuddiesBy is the generalized planner behind PlanBuddies: entries
+// carry arbitrary bookkeeping E, size extracts the element count the
+// tier rule compares, fold combines two entries' bookkeeping when their
+// spans merge, and gate — when non-nil — may veto an otherwise eligible
+// merge (an engine uses it to cap a merged epoch's covered time or seal
+// span so retention fidelity survives compaction). The greedy passes,
+// the tier rule and the fixpoint iteration are exactly PlanBuddies'.
+//
+// A gate weakens the fixpoint: vetoed pairs may leave adjacent
+// non-decreasing tiers, so the depth bound becomes "logarithmic per
+// gated region" rather than globally logarithmic — the caller trades
+// depth for whatever invariant the gate protects.
+func PlanBuddiesBy[E any](items []E, size func(E) int64, fold func(a, b E) E, gate func(older, newer E) bool) [][2]int {
+	spans := make([][2]int, len(items))
+	work := append([]E(nil), items...)
+	for i := range items {
+		spans[i] = [2]int{i, i + 1}
+	}
+	for changed := true; changed; {
+		changed = false
+		// In-place compaction of spans/work is safe: each output index
+		// trails the input indices it reads.
+		outS := spans[:0]
+		outW := work[:0]
+		i := 0
+		for i < len(work) {
+			if i+1 < len(work) && SizeTier(size(work[i])) <= SizeTier(size(work[i+1])) &&
+				(gate == nil || gate(work[i], work[i+1])) {
+				outS = append(outS, [2]int{spans[i][0], spans[i+1][1]})
+				outW = append(outW, fold(work[i], work[i+1]))
+				i += 2
+				changed = true
+			} else {
+				outS = append(outS, spans[i])
+				outW = append(outW, work[i])
+				i++
+			}
+		}
+		spans, work = outS, outW
+	}
+	return spans
+}
+
+// MergeSpans executes a compaction plan: each span of width > 1 is
+// reassembled with MergeAll into a single summary covering the span's
+// union; width-1 spans are passed through by reference. Summaries must
+// be non-nil and share a step; the inputs are not modified. It is the
+// execute step shared by CompactSummaries and callers that plan with
+// PlanBuddiesBy under extra constraints (an engine gating merged spans
+// for retention fidelity).
+//
+// The merged output answers every quantile, rank and selectivity query
+// byte-identically to the unmerged set — compaction changes the merge
+// set's shape, never its content.
+func MergeSpans[T cmp.Ordered](sums []*Summary[T], spans [][2]int) ([]*Summary[T], error) {
+	out := make([]*Summary[T], len(spans))
+	for i, sp := range spans {
+		if sp[1]-sp[0] == 1 {
+			out[i] = sums[sp[0]]
+			continue
+		}
+		m, err := MergeAll(sums[sp[0]:sp[1]])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// CompactSummaries plans with PlanBuddies over the summaries' element
+// counts and executes with MergeSpans. The returned spans index the
+// ORIGINAL slice so callers tracking per-summary metadata (epoch IDs,
+// seal times) can fold it along the same boundaries.
+func CompactSummaries[T cmp.Ordered](sums []*Summary[T]) ([]*Summary[T], [][2]int, error) {
+	ns := make([]int64, len(sums))
+	for i, s := range sums {
+		ns[i] = s.N()
+	}
+	spans := PlanBuddies(ns)
+	if len(spans) == len(sums) {
+		return sums, spans, nil
+	}
+	out, err := MergeSpans(sums, spans)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, spans, nil
+}

@@ -136,11 +136,17 @@ func LoadSummary[T cmp.Ordered](r io.Reader, codec runio.Codec[T]) (*Summary[T],
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated max: %v", ErrSummaryFormat, err)
 	}
-	samples := make([]T, count)
-	for i := range samples {
-		if samples[i], err = readElem(); err != nil {
+	// Grow the sample list as elements actually arrive instead of
+	// trusting the header's count up front: a corrupted count (up to the
+	// 2⁴⁰ plausibility cap) must fail at EOF with a small allocation, not
+	// attempt a terabyte-sized make.
+	samples := make([]T, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		v, err := readElem()
+		if err != nil {
 			return nil, fmt.Errorf("%w: truncated samples: %v", ErrSummaryFormat, err)
 		}
+		samples = append(samples, v)
 	}
 	want := crc.Sum32()
 	var tail [4]byte

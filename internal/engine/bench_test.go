@@ -88,6 +88,57 @@ func BenchmarkEngineWindowedServe(b *testing.B) {
 	b.SetBytes(runLen * 8)
 }
 
+// BenchmarkEngineCompactedServe measures what epoch compaction buys on
+// the query path: a keep-all engine is pre-loaded with 1000 sealed epochs
+// (one rotation per run-aligned batch), then each iteration ingests one
+// element and forces a full snapshot rebuild. Uncompacted, the rebuild
+// k-way-merges a 1001-entry ring every time; compacted, the ring holds
+// ~log₂(1000) entries, so the fan-in — and the per-entry bookkeeping on
+// every rotation and stats call — collapses.
+func BenchmarkEngineCompactedServe(b *testing.B) {
+	const (
+		runLen = 256
+		epochs = 1000
+	)
+	for _, compact := range []bool{false, true} {
+		b.Run(fmt.Sprintf("compact=%v", compact), func(b *testing.B) {
+			e, err := New[int64](Options{
+				Config:     core.Config{RunLen: runLen, SampleSize: 32},
+				Stripes:    1,
+				Compaction: CompactionPolicy{Enabled: compact},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			batch := make([]int64, runLen)
+			for ep := 0; ep < epochs; ep++ {
+				for i := range batch {
+					batch[i] = rng.Int63n(1 << 48)
+				}
+				if err := e.IngestBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				if sealed, err := e.Rotate(); err != nil || !sealed {
+					b.Fatalf("epoch %d: sealed=%v err=%v", ep, sealed, err)
+				}
+			}
+			if depth := e.Stats().Epochs; compact == (depth == epochs) {
+				b.Fatalf("ring depth %d does not match compact=%v", depth, compact)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Quantile(0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRegistryServe measures the multi-tenant hot path: concurrent
 // goroutines resolving tenants through the registry and hitting their
 // engines with a mixed ingest/query load across 8 tenants.

@@ -19,7 +19,9 @@
 // Retention policy (keep-all, last-K, sliding window) evicts aged ones, so
 // the engine serves windowed as well as lifetime statistics. Because
 // seals never split a run, a keep-all engine's merged state is identical
-// whether rotation ran or not.
+// whether rotation ran or not. A CompactionPolicy (compact.go)
+// buddy-merges adjacent sealed epochs so the ring stays O(log N) deep,
+// with answers provably unchanged.
 //
 // Reads are served from an immutable merged Snapshot that is cached per
 // ingest version: a query first checks the cached snapshot, and only when
@@ -40,6 +42,7 @@ package engine
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -77,6 +80,22 @@ type Options struct {
 	// Retention controls how sealed epochs age out of the merge set. The
 	// zero value (RetainAll) keeps everything — lifetime statistics.
 	Retention Retention
+	// Compaction controls binary-buddy merging of adjacent sealed epochs,
+	// which bounds the ring at O(log N) entries without changing any
+	// answer. The zero value never compacts automatically (Compact still
+	// works).
+	Compaction CompactionPolicy
+	// MaxPending, when positive, bounds admission: Ingest and IngestBatch
+	// return ErrBacklogged while the unsealed bytes (PendingBytes) are at
+	// or over it, instead of buffering without bound — backpressure for
+	// writers that do not come through the HTTP layer's shedding. A
+	// rotation (policy-triggered or explicit) heals the backlog. The
+	// bound must exceed Stripes·(RunLen−1)·elemSize: partial run buffers
+	// can pin that many bytes that no rotation seals, and a smaller bound
+	// could be crossed by partials alone and then never drain. The check
+	// happens at call entry, so one admitted batch may overshoot the
+	// bound; it is a high-water mark, not a hard ceiling.
+	MaxPending int64
 }
 
 // Snapshot is an immutable, internally consistent view of everything the
@@ -107,8 +126,11 @@ type Stats struct {
 	Version uint64
 	// Stripes is the configured ingest-stripe count.
 	Stripes int
-	// Epochs is the retained ring size; SealedEpochs and EvictedEpochs
-	// count lifetime seals and evictions; EvictedN is the total element
+	// Epochs is the retained ring size (compaction shrinks it without
+	// touching the seal counters); SealedEpochs and EvictedEpochs count
+	// lifetime seals and evicted seals — both in seal units, so their
+	// difference is the retained seal count even when eviction drops a
+	// compacted entry covering many seals. EvictedN is the total element
 	// count of evicted epochs.
 	Epochs        int
 	SealedEpochs  int64
@@ -118,6 +140,11 @@ type Stats struct {
 	// stripes); PendingBytes is what ingest backpressure bounds.
 	PendingElems int64
 	PendingBytes int64
+	// Compactions counts compaction passes that changed the ring;
+	// CompactedEpochs is the total ring depth they reclaimed (entries
+	// folded away). Epochs is the resulting ring depth.
+	Compactions     int64
+	CompactedEpochs int64
 	// Merges is the number of snapshot rebuilds performed.
 	Merges int64
 	// Queries is the number of snapshot-backed queries served.
@@ -132,24 +159,29 @@ type Stats struct {
 // Engine is a concurrent, long-lived quantile service over elements of
 // type T. All methods are safe for concurrent use.
 type Engine[T cmp.Ordered] struct {
-	cfg      core.Config
-	buckets  int
-	policy   EpochPolicy
-	retain   Retention
-	elemSize int64
-	stripes  []*stripe[T]
+	cfg        core.Config
+	buckets    int
+	policy     EpochPolicy
+	retain     Retention
+	compaction CompactionPolicy
+	maxPending int64
+	elemSize   int64
+	stripes    []*stripe[T]
 
 	next    atomic.Uint64 // round-robin ingest cursor
 	version atomic.Uint64 // bumped after every absorb or eviction
 	count   atomic.Int64  // lifetime elements absorbed
 	pending atomic.Int64  // elements not yet sealed into an epoch
 
-	epochMu       sync.Mutex                  // guards ring mutation (seal, absorb, evict)
-	ring          atomic.Pointer[[]*Epoch[T]] // immutable retained epochs, oldest first
-	nextEpoch     atomic.Uint64
-	sealedEpochs  atomic.Int64
-	evictedEpochs atomic.Int64
-	evictedN      atomic.Int64
+	epochMu         sync.Mutex                  // guards ring mutation (seal, absorb, evict, compact)
+	ring            atomic.Pointer[[]*Epoch[T]] // immutable retained epochs, oldest first
+	nextEpoch       atomic.Uint64
+	sealedEpochs    atomic.Int64
+	evictedEpochs   atomic.Int64
+	evictedN        atomic.Int64
+	compactions     atomic.Int64
+	compactedEpochs atomic.Int64
+	sealRate        sealRate
 
 	mergeMu sync.Mutex // single-flight guard for snapshot rebuilds
 	snap    atomic.Pointer[Snapshot[T]]
@@ -178,12 +210,46 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 	if err := opts.Retention.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Compaction.Validate(); err != nil {
+		return nil, err
+	}
 	p := opts.Stripes
 	if p == 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
 	if p < 1 {
 		return nil, fmt.Errorf("%w: Stripes must be non-negative, got %d", core.ErrConfig, opts.Stripes)
+	}
+	if opts.MaxPending < 0 {
+		return nil, fmt.Errorf("%w: MaxPending must be non-negative, got %d", core.ErrConfig, opts.MaxPending)
+	}
+	if opts.MaxPending > 0 {
+		elemSize := int64(runio.ElemSize[T]())
+		// Rotations seal only completed runs: each stripe can pin up to
+		// RunLen−1 elements in a partial buffer forever. A bound at or
+		// below that capacity could be crossed by partials alone and then
+		// reject every ingest with nothing ever draining.
+		if floor := int64(p) * int64(opts.Config.RunLen-1) * elemSize; opts.MaxPending <= floor {
+			return nil, fmt.Errorf("%w: MaxPending %d can never drain: %d stripes × (RunLen−1) partial-run elements pin up to %d bytes that no rotation seals",
+				core.ErrConfig, opts.MaxPending, p, floor)
+		}
+		// A count/bytes seal trigger that fires only ABOVE the admission
+		// bound is a livelock: admission rejects before the trigger is
+		// reached and, with no wall-clock timer and no explicit Rotate,
+		// nothing ever drains. Reject the combination unless an Interval
+		// timer provides an unconditional heal. The element comparison is
+		// phrased as a division so a huge MaxElems cannot overflow the
+		// product and dodge the check.
+		if opts.Epoch.Interval == 0 {
+			if opts.Epoch.MaxElems > 0 && opts.Epoch.MaxElems > opts.MaxPending/elemSize {
+				return nil, fmt.Errorf("%w: MaxPending %d rejects ingests before the MaxElems trigger (%d elements of %d bytes) can fire; raise MaxPending, lower MaxElems, or add an Interval",
+					core.ErrConfig, opts.MaxPending, opts.Epoch.MaxElems, elemSize)
+			}
+			if opts.Epoch.MaxBytes > opts.MaxPending {
+				return nil, fmt.Errorf("%w: MaxPending %d rejects ingests before the MaxBytes trigger (%d) can fire; raise MaxPending, lower MaxBytes, or add an Interval",
+					core.ErrConfig, opts.MaxPending, opts.Epoch.MaxBytes)
+			}
+		}
 	}
 	buckets := opts.Buckets
 	if buckets == 0 {
@@ -193,12 +259,14 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 		return nil, fmt.Errorf("%w: Buckets must be non-negative, got %d", core.ErrConfig, opts.Buckets)
 	}
 	e := &Engine[T]{
-		cfg:      opts.Config,
-		buckets:  buckets,
-		policy:   opts.Epoch,
-		retain:   opts.Retention,
-		elemSize: int64(runio.ElemSize[T]()),
-		stripes:  make([]*stripe[T], p),
+		cfg:        opts.Config,
+		buckets:    buckets,
+		policy:     opts.Epoch,
+		retain:     opts.Retention,
+		compaction: opts.Compaction,
+		maxPending: opts.MaxPending,
+		elemSize:   int64(runio.ElemSize[T]()),
+		stripes:    make([]*stripe[T], p),
 	}
 	for i := range e.stripes {
 		sb, err := core.NewStreamBuilder[T](opts.Config)
@@ -232,10 +300,44 @@ func (e *Engine[T]) rotationTimer(interval time.Duration) {
 	}
 }
 
+// ErrBacklogged reports an ingest rejected by bounded admission: the
+// engine's unsealed bytes are at or over Options.MaxPending. The caller
+// should back off — SealInterval is a reasonable hint — and retry once a
+// rotation has sealed the backlog.
+var ErrBacklogged = errors.New("engine: ingest backlogged: unsealed bytes over MaxPending")
+
+// admit applies bounded admission at call entry (see Options.MaxPending).
+// Before rejecting, it retries the EpochPolicy triggers: the ingest that
+// crossed the seal threshold may have lost maybeRotate's TryLock to a
+// concurrent ring reader, and rejected ingests never reach maybeRotate on
+// their own — without this retry one missed TryLock could wedge a
+// policy-driven engine in ErrBacklogged forever. Engines without a
+// count/bytes trigger are untouched (overThreshold is false): they
+// reject immediately and heal via explicit Rotate or the Interval timer.
+func (e *Engine[T]) admit() error {
+	if e.maxPending <= 0 {
+		return nil
+	}
+	if e.pending.Load()*e.elemSize >= e.maxPending {
+		if err := e.maybeRotate(); err != nil {
+			return err
+		}
+	}
+	if pending := e.pending.Load() * e.elemSize; pending >= e.maxPending {
+		return fmt.Errorf("%w: %d bytes pending, bound %d", ErrBacklogged, pending, e.maxPending)
+	}
+	return nil
+}
+
 // Ingest observes one element. The ingest version is bumped only after the
 // element is resident in its stripe, so a Snapshot taken after Ingest
-// returns is guaranteed to include it (read-your-writes).
+// returns is guaranteed to include it (read-your-writes). With
+// Options.MaxPending set, a backlogged engine rejects the element with
+// ErrBacklogged instead of buffering it.
 func (e *Engine[T]) Ingest(v T) error {
+	if err := e.admit(); err != nil {
+		return err
+	}
 	st := e.stripes[e.next.Add(1)%uint64(len(e.stripes))]
 	st.mu.Lock()
 	err := st.sb.Add(v)
@@ -255,6 +357,9 @@ func (e *Engine[T]) Ingest(v T) error {
 func (e *Engine[T]) IngestBatch(vs []T) error {
 	if len(vs) == 0 {
 		return nil
+	}
+	if err := e.admit(); err != nil {
+		return err
 	}
 	st := e.stripes[e.next.Add(1)%uint64(len(e.stripes))]
 	st.mu.Lock()
@@ -291,6 +396,15 @@ func (e *Engine[T]) Snapshot() (*Snapshot[T], error) {
 	cur = e.version.Load()
 	if s := e.snap.Load(); s != nil && s.Version == cur && !e.oldestExpired() {
 		return s, nil
+	}
+	// Compaction on the rebuild path covers engines whose ring changes
+	// without rotations (absorb-heavy or query-only load): a quiet engine
+	// still converges to the compacted shape, and this rebuild's k-way
+	// merge fans in over the compacted ring. Answers are unchanged, so no
+	// version bump; the pass is a cheap no-op whenever the ring is
+	// already at its buddy fixpoint.
+	if _, err := e.compactPass(false); err != nil {
+		return nil, err
 	}
 	return e.rebuildLocked(cur)
 }
@@ -445,17 +559,19 @@ func (e *Engine[T]) Stats() Stats {
 	evictedN := e.evictedN.Load()
 	e.epochMu.Unlock()
 	st := Stats{
-		N:             e.count.Load(),
-		Version:       e.version.Load(),
-		Stripes:       len(e.stripes),
-		Epochs:        len(live),
-		SealedEpochs:  e.sealedEpochs.Load(),
-		EvictedEpochs: evictedEpochs,
-		EvictedN:      evictedN,
-		PendingElems:  e.pending.Load(),
-		PendingBytes:  e.pending.Load() * e.elemSize,
-		Merges:        e.merges.Load(),
-		Queries:       e.queries.Load(),
+		N:               e.count.Load(),
+		Version:         e.version.Load(),
+		Stripes:         len(e.stripes),
+		Epochs:          len(live),
+		SealedEpochs:    e.sealedEpochs.Load(),
+		EvictedEpochs:   evictedEpochs,
+		EvictedN:        evictedN,
+		Compactions:     e.compactions.Load(),
+		CompactedEpochs: e.compactedEpochs.Load(),
+		PendingElems:    e.pending.Load(),
+		PendingBytes:    e.pending.Load() * e.elemSize,
+		Merges:          e.merges.Load(),
+		Queries:         e.queries.Load(),
 	}
 	st.RetainedN = st.N - st.EvictedN - expiredN
 	if s := e.snap.Load(); s != nil {
@@ -496,7 +612,10 @@ func (e *Engine[T]) absorb(sum *core.Summary[T], src EpochSource) error {
 	e.epochMu.Unlock()
 	e.count.Add(sum.N())
 	e.version.Add(1)
-	return nil
+	// Post-absorb compaction, outside epochMu (see compactPass); the
+	// epoch is already published, so a failure must not unwind it.
+	_, cerr := e.compactPass(false)
+	return cerr
 }
 
 // Checkpoint writes the engine's current merged summary (the retained

@@ -26,18 +26,38 @@ const (
 	EpochRestore EpochSource = "restore"
 	// EpochBulk is a sharded build absorbed by BulkLoad.
 	EpochBulk EpochSource = "bulk"
+	// EpochCompacted is the binary-buddy merge of a span of adjacent
+	// sealed epochs (see compact.go); FirstID..ID records which.
+	EpochCompacted EpochSource = "compact"
 )
 
-// Epoch is one immutable sealed summary in the engine's ring.
+// Epoch is one immutable sealed summary in the engine's ring. A freshly
+// sealed epoch covers exactly one seal (FirstID == ID, Seals == 1);
+// compaction folds adjacent epochs into one entry whose metadata spans
+// everything it absorbed.
 type Epoch[T cmp.Ordered] struct {
 	// ID increases monotonically over the engine's lifetime; gaps appear
-	// when epochs are evicted.
+	// when epochs are evicted. For a compacted epoch it is the NEWEST
+	// covered seal's ID; FirstID..ID is the covered span.
 	ID uint64
-	// Summary covers exactly the elements sealed into this epoch.
+	// FirstID is the oldest covered seal's ID; equal to ID until
+	// compaction widens the span.
+	FirstID uint64
+	// Seals counts the seals folded into this entry (ID−FirstID+1 minus
+	// any IDs already evicted before compaction).
+	Seals int64
+	// Summary covers exactly the elements sealed into the epoch's span.
 	Summary *core.Summary[T]
-	// SealedAt is when the epoch was sealed; age-based retention compares
-	// against it.
+	// Bytes is the encoded size of the covered elements (N·elemSize) —
+	// what the entry contributes to a rebuilt merge set.
+	Bytes int64
+	// SealedAt is when the NEWEST covered seal happened; age-based
+	// retention compares against it, so a compacted entry is evicted only
+	// once its newest data ages out (never early).
 	SealedAt time.Time
+	// FirstSealedAt is when the OLDEST covered seal happened; equal to
+	// SealedAt until compaction widens the span.
+	FirstSealedAt time.Time
 	// Source records how the epoch entered the ring.
 	Source EpochSource
 }
@@ -76,7 +96,11 @@ const (
 	// RetainAll keeps every epoch: lifetime statistics (the pre-epoch
 	// engine behavior).
 	RetainAll RetentionKind = iota
-	// RetainLastK keeps the newest K sealed epochs.
+	// RetainLastK keeps the newest K seals. On an uncompacted ring that
+	// is the newest K epochs; on a compacted ring, the shortest entry
+	// suffix covering at least K seals (entries carry their covered seal
+	// count, so compaction coarsens eviction granularity without
+	// shrinking the promised window).
 	RetainLastK
 	// RetainMaxAge keeps epochs sealed within the trailing MaxAge window.
 	RetainMaxAge
@@ -87,7 +111,8 @@ const (
 // retained window plus whatever is still unsealed in the live stripes.
 type Retention struct {
 	Kind RetentionKind
-	// K is the epoch count kept under RetainLastK.
+	// K is the seal count kept under RetainLastK (equal to the epoch
+	// count when compaction is off).
 	K int
 	// MaxAge is the sliding window width under RetainMaxAge. Expired
 	// epochs are dropped on every rotation and on snapshot rebuilds, so a
@@ -114,13 +139,20 @@ func (r Retention) Validate() error {
 	return nil
 }
 
-// EpochStats describes one retained epoch (Engine.Epochs).
+// EpochStats describes one retained epoch (Engine.Epochs). FirstID, Seals
+// and FirstSealedAt expose the span a compacted entry covers; for an
+// uncompacted entry FirstID == ID, Seals == 1 and FirstSealedAt equals
+// SealedAt.
 type EpochStats struct {
-	ID       uint64      `json:"id"`
-	N        int64       `json:"n"`
-	Samples  int         `json:"samples"`
-	SealedAt time.Time   `json:"sealed_at"`
-	Source   EpochSource `json:"source"`
+	ID            uint64      `json:"id"`
+	FirstID       uint64      `json:"first_id"`
+	Seals         int64       `json:"seals"`
+	N             int64       `json:"n"`
+	Bytes         int64       `json:"bytes"`
+	Samples       int         `json:"samples"`
+	SealedAt      time.Time   `json:"sealed_at"`
+	FirstSealedAt time.Time   `json:"first_sealed_at"`
+	Source        EpochSource `json:"source"`
 }
 
 // Rotate seals every stripe's completed runs into one new epoch and
@@ -130,8 +162,19 @@ type EpochStats struct {
 // EpochPolicy triggers.
 func (e *Engine[T]) Rotate() (sealed bool, err error) {
 	e.epochMu.Lock()
-	defer e.epochMu.Unlock()
-	return e.rotateLocked(time.Now())
+	sealed, err = e.rotateLocked(time.Now())
+	e.epochMu.Unlock()
+	if err != nil {
+		return sealed, err
+	}
+	// Compaction after the seal, outside epochMu: the buddy merges can be
+	// expensive and must not stall readers of the just-published ring. It
+	// never changes the merge set's content, so a failure (impossible
+	// with same-step epochs) must not unwind an already-successful seal.
+	if _, cerr := e.compactPass(false); cerr != nil {
+		return sealed, cerr
+	}
+	return sealed, nil
 }
 
 // rotateLocked performs a rotation under epochMu.
@@ -153,6 +196,7 @@ func (e *Engine[T]) rotateLocked(now time.Time) (bool, error) {
 		}
 		e.appendEpochLocked(&Epoch[T]{Summary: sum, SealedAt: now, Source: EpochIngest})
 		e.pending.Add(-sum.N())
+		e.sealRate.observe(now)
 		sealed = true
 	}
 	evicted := e.applyRetentionLocked(now)
@@ -162,10 +206,15 @@ func (e *Engine[T]) rotateLocked(now time.Time) (bool, error) {
 	return sealed, nil
 }
 
-// appendEpochLocked assigns the next ID and publishes a new ring slice
-// (copy-on-write: readers hold the previous immutable slice).
+// appendEpochLocked assigns the next ID, completes the single-seal span
+// metadata and publishes a new ring slice (copy-on-write: readers hold
+// the previous immutable slice).
 func (e *Engine[T]) appendEpochLocked(ep *Epoch[T]) {
 	ep.ID = e.nextEpoch.Add(1)
+	ep.FirstID = ep.ID
+	ep.Seals = 1
+	ep.Bytes = ep.Summary.N() * e.elemSize
+	ep.FirstSealedAt = ep.SealedAt
 	old := *e.ring.Load()
 	ring := make([]*Epoch[T], len(old), len(old)+1)
 	copy(ring, old)
@@ -181,8 +230,15 @@ func (e *Engine[T]) applyRetentionLocked(now time.Time) bool {
 	cut := 0
 	switch e.retain.Kind {
 	case RetainLastK:
-		if len(ring) > e.retain.K {
-			cut = len(ring) - e.retain.K
+		// Count covered SEALS, not ring entries: on an uncompacted ring
+		// (every entry covers one seal) this is exactly "the newest K
+		// entries"; on a compacted ring it keeps the shortest suffix
+		// covering at least K seals, so "last K" keeps meaning K seals'
+		// worth of data — conservatively over-retaining by at most the
+		// oldest surviving entry's span, never dropping in-window seals.
+		var seals int64
+		for cut = len(ring); cut > 0 && seals < int64(e.retain.K); cut-- {
+			seals += ring[cut-1].Seals
 		}
 	case RetainMaxAge:
 		cut = e.expiredCut(ring, now)
@@ -192,7 +248,11 @@ func (e *Engine[T]) applyRetentionLocked(now time.Time) bool {
 	}
 	for _, ep := range ring[:cut] {
 		e.evictedN.Add(ep.Summary.N())
-		e.evictedEpochs.Add(1)
+		// Seal-weighted, like SealedEpochs (which increments once per
+		// seal/absorb, never for compacted entries): evicting a compacted
+		// entry evicts every seal it covers, so SealedEpochs −
+		// EvictedEpochs keeps meaning "retained seals".
+		e.evictedEpochs.Add(ep.Seals)
 	}
 	rest := append([]*Epoch[T](nil), ring[cut:]...)
 	e.ring.Store(&rest)
@@ -209,11 +269,16 @@ func (e *Engine[T]) maybeRotate() error {
 	if !e.epochMu.TryLock() {
 		return nil
 	}
-	defer e.epochMu.Unlock()
 	if !e.overThreshold() {
+		e.epochMu.Unlock()
 		return nil
 	}
 	_, err := e.rotateLocked(time.Now())
+	e.epochMu.Unlock()
+	if err == nil {
+		// Same post-seal compaction as Rotate, outside epochMu.
+		_, err = e.compactPass(false)
+	}
 	return err
 }
 
@@ -252,11 +317,15 @@ func (e *Engine[T]) Epochs() []EpochStats {
 	out := make([]EpochStats, len(ring))
 	for i, ep := range ring {
 		out[i] = EpochStats{
-			ID:       ep.ID,
-			N:        ep.Summary.N(),
-			Samples:  ep.Summary.SampleCount(),
-			SealedAt: ep.SealedAt,
-			Source:   ep.Source,
+			ID:            ep.ID,
+			FirstID:       ep.FirstID,
+			Seals:         ep.Seals,
+			N:             ep.Summary.N(),
+			Bytes:         ep.Bytes,
+			Samples:       ep.Summary.SampleCount(),
+			SealedAt:      ep.SealedAt,
+			FirstSealedAt: ep.FirstSealedAt,
+			Source:        ep.Source,
 		}
 	}
 	return out
@@ -269,6 +338,10 @@ func (e *Engine[T]) PendingElems() int64 { return e.pending.Load() }
 // PendingBytes returns the encoded size of the unsealed elements — the
 // quantity ingest backpressure bounds.
 func (e *Engine[T]) PendingBytes() int64 { return e.pending.Load() * e.elemSize }
+
+// MaxPending returns the engine-side bounded-admission threshold
+// (Options.MaxPending); 0 means admission is unbounded.
+func (e *Engine[T]) MaxPending() int64 { return e.maxPending }
 
 // Close stops the rotation timer, if the EpochPolicy started one. It does
 // not flush or checkpoint; the engine remains usable for everything except

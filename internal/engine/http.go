@@ -62,8 +62,35 @@ type HandlerOptions struct {
 	// state to drain at all.
 	MaxPendingBytes int64
 	// RetryAfter is the Retry-After hint on 429 responses, rounded up to
-	// whole seconds. 0 means 1s.
+	// whole seconds. 0 means adaptive: the hint is derived from the
+	// engine's observed seal cadence (Engine.SealInterval) — the backlog
+	// plausibly drains one seal from now — clamped to [1s, 60s], falling
+	// back to 1s until a cadence has been observed. A positive value
+	// disables adaptation and is used verbatim.
 	RetryAfter time.Duration
+}
+
+// maxAdaptiveRetryAfter caps the seal-cadence-derived Retry-After hint: a
+// stalled or rarely sealing engine should make clients probe again within
+// a minute, not mirror an hour-long epoch interval.
+const maxAdaptiveRetryAfter = time.Minute
+
+// retryAfterHint resolves the 429 hint: an explicit configuration wins,
+// then the observed seal cadence (clamped), then a 1s floor. Pure, so the
+// adaptation policy is unit-testable without an HTTP round trip.
+func retryAfterHint(explicit, sealInterval time.Duration, ok bool) time.Duration {
+	if explicit > 0 {
+		return explicit
+	}
+	if ok {
+		if sealInterval > maxAdaptiveRetryAfter {
+			return maxAdaptiveRetryAfter
+		}
+		if sealInterval >= time.Second {
+			return sealInterval
+		}
+	}
+	return time.Second
 }
 
 // handler serves the engine API:
@@ -211,16 +238,7 @@ func (h *handler[T]) ingest(eng *Engine[T], w http.ResponseWriter, r *http.Reque
 		}
 	}
 	if h.opts.MaxPendingBytes > 0 && eng.PendingBytes() >= h.opts.MaxPendingBytes {
-		retry := h.opts.RetryAfter
-		if retry <= 0 {
-			retry = time.Second
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{
-			"error":         "ingest backpressure: unsealed bytes over bound",
-			"pending_bytes": eng.PendingBytes(),
-			"bound":         h.opts.MaxPendingBytes,
-		})
+		h.shed429(eng, w, h.opts.MaxPendingBytes)
 		return
 	}
 	if limit := h.opts.MaxBodyBytes; limit >= 0 {
@@ -263,12 +281,32 @@ func (h *handler[T]) ingest(eng *Engine[T], w http.ResponseWriter, r *http.Reque
 		keys = append(keys, v)
 	}
 	if err := eng.IngestBatch(keys); err != nil {
+		// Engine-side bounded admission (Options.MaxPending) surfaces as
+		// the same 429 the HTTP-side shed produces: it is backpressure,
+		// not a server fault.
+		if errors.Is(err, ErrBacklogged) {
+			h.shed429(eng, w, eng.MaxPending())
+			return
+		}
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{
 		"ingested": int64(len(keys)),
 		"n":        eng.N(),
+	})
+}
+
+// shed429 writes the backpressure response with a Retry-After hint
+// adapted to the engine's observed seal cadence (see retryAfterHint).
+func (h *handler[T]) shed429(eng *Engine[T], w http.ResponseWriter, bound int64) {
+	iv, ok := eng.SealInterval()
+	retry := retryAfterHint(h.opts.RetryAfter, iv, ok)
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":         "ingest backpressure: unsealed bytes over bound",
+		"pending_bytes": eng.PendingBytes(),
+		"bound":         bound,
 	})
 }
 
@@ -346,6 +384,8 @@ func statsJSON(st Stats) map[string]any {
 		"sealed_epochs":        st.SealedEpochs,
 		"evicted_epochs":       st.EvictedEpochs,
 		"evicted_n":            st.EvictedN,
+		"compactions":          st.Compactions,
+		"compacted_epochs":     st.CompactedEpochs,
 		"pending_elems":        st.PendingElems,
 		"pending_bytes":        st.PendingBytes,
 		"merges":               st.Merges,

@@ -1,0 +1,64 @@
+// Seal-rate estimation: the HTTP layer's 429 Retry-After hint should tell
+// a shedding client when the backlog plausibly drains — one seal from now
+// — instead of a fixed constant. The engine observes the cadence of
+// ingest seals as an exponentially weighted moving average of inter-seal
+// gaps; the EWMA adapts within a few rotations when the workload shifts
+// but does not whipsaw on one outlier gap.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// sealRateAlpha is the EWMA smoothing factor: each new inter-seal gap
+// contributes a quarter of the estimate, so ~5 seals re-anchor it after a
+// rate change.
+const sealRateAlpha = 0.25
+
+// sealRate tracks the EWMA of inter-seal intervals. The zero value is
+// ready to use; it reports no estimate until two seals have been
+// observed.
+type sealRate struct {
+	mu   sync.Mutex
+	last time.Time     // previous seal's timestamp; zero until the first
+	avg  time.Duration // EWMA of gaps; 0 until the second seal
+}
+
+// observe records one seal at now. Out-of-order timestamps (clock steps)
+// contribute a zero gap rather than a negative one.
+func (r *sealRate) observe(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.last.IsZero() {
+		r.last = now
+		return
+	}
+	gap := now.Sub(r.last)
+	if gap < 0 {
+		gap = 0
+	}
+	r.last = now
+	if r.avg == 0 {
+		r.avg = gap
+		return
+	}
+	r.avg = time.Duration((1-sealRateAlpha)*float64(r.avg) + sealRateAlpha*float64(gap))
+}
+
+// interval returns the EWMA of inter-seal gaps; ok is false until two
+// seals have been observed (no rate to speak of).
+func (r *sealRate) interval() (_ time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.avg, r.avg > 0
+}
+
+// SealInterval reports the engine's observed seal cadence: the
+// exponentially weighted moving average of the gaps between successive
+// ingest seals. ok is false until at least two rotations have sealed.
+// The HTTP layer derives adaptive Retry-After hints from it; callers
+// implementing their own backoff against ErrBacklogged can do the same.
+func (e *Engine[T]) SealInterval() (_ time.Duration, ok bool) {
+	return e.sealRate.interval()
+}

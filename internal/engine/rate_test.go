@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"opaq/internal/core"
+)
+
+// TestSealRateEWMA is the satellite's unit test on the rate estimator:
+// no estimate before two seals, exact first gap, stability under a
+// constant cadence, convergence after a rate change, and clock-step
+// safety.
+func TestSealRateEWMA(t *testing.T) {
+	var r sealRate
+	if _, ok := r.interval(); ok {
+		t.Fatal("estimate before any seal")
+	}
+	t0 := time.Unix(1000, 0)
+	r.observe(t0)
+	if _, ok := r.interval(); ok {
+		t.Fatal("estimate after a single seal (no gap yet)")
+	}
+	r.observe(t0.Add(100 * time.Millisecond))
+	iv, ok := r.interval()
+	if !ok || iv != 100*time.Millisecond {
+		t.Fatalf("first gap: interval=%v ok=%v, want exactly 100ms", iv, ok)
+	}
+	// A constant cadence is a fixpoint of the EWMA.
+	last := t0.Add(100 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		last = last.Add(100 * time.Millisecond)
+		r.observe(last)
+	}
+	if iv, _ := r.interval(); iv != 100*time.Millisecond {
+		t.Fatalf("constant cadence drifted to %v", iv)
+	}
+	// A 5× slowdown re-anchors within a handful of seals (α=0.25).
+	for i := 0; i < 20; i++ {
+		last = last.Add(500 * time.Millisecond)
+		r.observe(last)
+	}
+	if iv, _ := r.interval(); iv < 450*time.Millisecond || iv > 500*time.Millisecond {
+		t.Fatalf("after slowdown interval=%v, want ≈500ms", iv)
+	}
+	// A backwards clock step contributes a zero gap, never a negative
+	// estimate.
+	r.observe(last.Add(-time.Hour))
+	if iv, _ := r.interval(); iv < 0 || iv > 500*time.Millisecond {
+		t.Fatalf("after clock step interval=%v", iv)
+	}
+}
+
+// TestRetryAfterHint pins the adaptation policy: explicit configuration
+// wins, the observed cadence is clamped to [1s, 60s], and the floor
+// covers both "no estimate yet" and sub-second cadences.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		explicit, seal time.Duration
+		ok             bool
+		want           time.Duration
+	}{
+		{5 * time.Second, 30 * time.Second, true, 5 * time.Second}, // explicit wins
+		{0, 30 * time.Second, true, 30 * time.Second},              // adaptive
+		{0, 3 * time.Hour, true, time.Minute},                      // clamped above
+		{0, 200 * time.Millisecond, true, time.Second},             // floored below
+		{0, 0, false, time.Second},                                 // no estimate yet
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.explicit, c.seal, c.ok); got != c.want {
+			t.Errorf("retryAfterHint(%v, %v, %v) = %v, want %v", c.explicit, c.seal, c.ok, got, c.want)
+		}
+	}
+}
+
+// TestEngineSealIntervalObserved checks the wiring: only rotations that
+// actually seal feed the estimator, and two sealing rotations are enough
+// for SealInterval to report.
+func TestEngineSealIntervalObserved(t *testing.T) {
+	e, err := New[int64](Options{
+		Config:  core.Config{RunLen: 16, SampleSize: 4},
+		Stripes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Rotate(); err != nil { // nothing to seal
+		t.Fatal(err)
+	}
+	if _, ok := e.SealInterval(); ok {
+		t.Fatal("estimate from a rotation that sealed nothing")
+	}
+	batch := make([]int64, 16)
+	for round := 0; round < 2; round++ {
+		for i := range batch {
+			batch[i] = int64(round*100 + i)
+		}
+		if err := e.IngestBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if sealed, err := e.Rotate(); err != nil || !sealed {
+			t.Fatalf("round %d: sealed=%v err=%v", round, sealed, err)
+		}
+	}
+	if iv, ok := e.SealInterval(); !ok || iv < 0 {
+		t.Fatalf("after two seals: interval=%v ok=%v", iv, ok)
+	}
+}

@@ -82,3 +82,78 @@ func EngineSweep(scale int) (*Table, error) {
 	}
 	return t, nil
 }
+
+// CompactionSweep is an extension experiment beyond the paper's
+// evaluation: it measures what binary-buddy epoch compaction buys a
+// keep-all engine under continuous rotation. Both rows stream the same
+// data with one seal per run and a median query after every batch; the
+// compacted row additionally buddy-merges adjacent epochs after each
+// rotation. Answers are byte-identical by construction (the equivalence
+// harness in internal/engine enforces it); what changes is the ring
+// depth a snapshot rebuild fans in over — linear in seals uncompacted,
+// logarithmic compacted — measured directly by the final-rebuild column
+// (one forced rebuild after the stream ends).
+func CompactionSweep(scale int) (*Table, error) {
+	n := scaleN(8_000_000, scale)
+	const runLen = 1 << 13
+	const batch = runLen // run-aligned: every batch completes a run
+	cfg := core.Config{RunLen: runLen, SampleSize: 1 << 7, Seed: seqSeed}
+
+	xs := datagen.Generate(datagen.NewUniform(seqSeed, 1<<62), n)
+
+	t := &Table{
+		ID:     "Extension: compact",
+		Title:  fmt.Sprintf("Binary-buddy epoch compaction (n=%s streamed, m=%d, s=%d, one seal per run, median query per batch)", humanN(n), cfg.RunLen, cfg.SampleSize),
+		Header: []string{"Ring", "ingest+query time", "seals", "compactions", "final ring depth", "final rebuild"},
+		Notes: []string{
+			"compaction merges adjacent same-tier epochs after each rotation: answers unchanged, ring depth O(log seals)",
+			"final rebuild = one forced snapshot reassembly after the stream; its fan-in is the ring depth",
+		},
+	}
+	for _, c := range []struct {
+		label   string
+		compact bool
+	}{
+		{"uncompacted (one entry per seal)", false},
+		{"compacted (binary-buddy)", true},
+	} {
+		e, err := engine.New[int64](engine.Options{
+			Config:     cfg,
+			Stripes:    4,
+			Epoch:      engine.EpochPolicy{MaxElems: runLen},
+			Compaction: engine.CompactionPolicy{Enabled: c.compact},
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for off := 0; off < len(xs); off += batch {
+			end := min(off+batch, len(xs))
+			if err := e.IngestBatch(xs[off:end]); err != nil {
+				return nil, err
+			}
+			if _, err := e.Quantile(0.5); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		// Force one more rebuild to isolate the fan-in cost of the final
+		// ring shape.
+		if err := e.Ingest(xs[0]); err != nil {
+			return nil, err
+		}
+		rebuildStart := time.Now()
+		if _, err := e.Quantile(0.5); err != nil {
+			return nil, err
+		}
+		rebuild := time.Since(rebuildStart)
+		st := e.Stats()
+		t.AddRow(c.label,
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", st.SealedEpochs),
+			fmt.Sprintf("%d", st.Compactions),
+			fmt.Sprintf("%d", st.Epochs),
+			rebuild.Round(10*time.Microsecond).String())
+	}
+	return t, nil
+}
