@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"opaq"
+	"opaq/opaqclient"
 )
 
 // freePort reserves then releases an ephemeral port. The tiny window in
@@ -191,6 +192,103 @@ func TestCmdServeCompact(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("quantile on compacted server: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down within 10s of SIGTERM")
+	}
+}
+
+// TestCmdServeBinaryIngest drives the wire-speed ingest path end to end:
+// one serve process accepts binary frames on both transports — content-
+// negotiated on the HTTP ingest route and on the -ingest-addr TCP
+// listener — from the opaqclient batching client, routes TCP frames to a
+// named tenant, and drains both listeners cleanly on SIGTERM.
+func TestCmdServeBinaryIngest(t *testing.T) {
+	addr, tcpAddr := freePort(t), freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr, "-ingest-addr", tcpAddr,
+			"-m", "512", "-s", "64", "-stripes", "1",
+			"-tenants", "latency",
+		})
+	}()
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Second}
+	up := false
+	for i := 0; i < 100 && !up; i++ {
+		if resp, err := client.Get(base + "/healthz"); err == nil {
+			up = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if !up {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !up {
+		t.Fatal("server never became healthy")
+	}
+
+	// Binary frames over HTTP into the default tenant.
+	hc := opaqclient.NewHTTP(base, opaq.Int64Codec{}, opaqclient.Options{MaxBatch: 256})
+	for i := int64(0); i < 1000; i++ {
+		if err := hc.Add(i); err != nil {
+			t.Fatalf("http add: %v", err)
+		}
+	}
+	if err := hc.Close(); err != nil {
+		t.Fatalf("http close: %v", err)
+	}
+	if n := hc.N(); n != 1000 {
+		t.Fatalf("http client: server acked n=%d, want 1000", n)
+	}
+
+	// Binary frames over TCP into the "latency" tenant.
+	tc, err := opaqclient.DialTCP(tcpAddr, opaq.Int64Codec{},
+		opaqclient.Options{Tenant: "latency", MaxBatch: 256})
+	if err != nil {
+		t.Fatalf("tcp dial: %v", err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := tc.Add(i); err != nil {
+			t.Fatalf("tcp add: %v", err)
+		}
+	}
+	if err := tc.Close(); err != nil {
+		t.Fatalf("tcp close: %v", err)
+	}
+	if n := tc.N(); n != 2000 {
+		t.Fatalf("tcp client: server acked n=%d, want 2000", n)
+	}
+
+	// Each transport's elements landed in its own tenant.
+	statsN := func(path string) float64 {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st["n"].(float64)
+	}
+	if n := statsN("/stats"); n != 1000 {
+		t.Fatalf("default tenant n = %g, want 1000", n)
+	}
+	if n := statsN("/t/latency/stats"); n != 2000 {
+		t.Fatalf("latency tenant n = %g, want 2000", n)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

@@ -69,6 +69,13 @@ func MergeAll[T cmp.Ordered](sums []*Summary[T]) (*Summary[T], error) {
 	if out.n == 0 {
 		return emptySummary[T](step), nil
 	}
-	out.samples = merge.KWay(lists)
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	// Draw the output from the merge-buffer pool: a serving engine rebuilds
+	// a snapshot on every version bump, and the previous snapshot's stripe
+	// summaries come back through RecycleSummary.
+	out.samples = merge.KWayInto(getSamples[T](total), lists)
 	return out, nil
 }

@@ -81,11 +81,32 @@ func (b *StreamBuilder[T]) Add(v T) error {
 	return nil
 }
 
-// AddBatch observes a batch of elements.
+// AddBatch observes a batch of elements. It is equivalent to calling Add
+// per element but copies run-sized chunks into the buffer wholesale, so
+// the per-element cost is one extrema comparison plus the memmove — on
+// the wire-speed ingest path the per-call overhead of Add is measurable.
 func (b *StreamBuilder[T]) AddBatch(vs []T) error {
-	for _, v := range vs {
-		if err := b.Add(v); err != nil {
-			return err
+	for len(vs) > 0 {
+		if len(b.buf) == 0 {
+			b.bufMin, b.bufMax = vs[0], vs[0]
+		}
+		take := min(b.cfg.RunLen-len(b.buf), len(vs))
+		chunk := vs[:take]
+		lo, hi := b.bufMin, b.bufMax
+		for _, v := range chunk {
+			if v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		b.bufMin, b.bufMax = lo, hi
+		b.buf = append(b.buf, chunk...)
+		vs = vs[take:]
+		if len(b.buf) == b.cfg.RunLen {
+			if err := b.flush(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -131,7 +152,9 @@ func (b *StreamBuilder[T]) flush() error {
 		}
 		b.lists = append(b.lists, samples)
 	}
-	b.buf = make([]T, 0, b.cfg.RunLen)
+	// MultiSelect permutes the run in place but its sample list is a fresh
+	// slice, so the run buffer is dead here and can be refilled in place.
+	b.buf = b.buf[:0]
 	return nil
 }
 
@@ -149,8 +172,12 @@ func (b *StreamBuilder[T]) Seal() *Summary[T] {
 	if b.runs == 0 {
 		return emptySummary[T](int64(b.cfg.Step()))
 	}
+	total := 0
+	for _, l := range b.lists {
+		total += len(l)
+	}
 	s := &Summary[T]{
-		samples:  merge.KWay(b.lists),
+		samples:  merge.KWayInto(getSamples[T](total), b.lists),
 		step:     int64(b.cfg.Step()),
 		runs:     b.runs,
 		n:        b.runN,
@@ -191,9 +218,13 @@ func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
 			for k := 1; k <= si; k++ {
 				ranks[k-1] = k*step - 1
 			}
-			cp := append([]T(nil), b.buf...)
+			// The tail must be copied (ingestion continues into b.buf), but
+			// the copy is pure scratch: MultiSelect permutes it and returns a
+			// fresh sample list, so it goes straight back to the pool.
+			cp := append(getSamples[T](len(b.buf)), b.buf...)
 			rng := rand.New(rand.NewSource(runSeed(b.cfg.Seed, b.seq)))
 			samples, err := selection.MultiSelect(cp, ranks, rng)
+			putSamples(cp)
 			if err != nil {
 				return nil, err
 			}
@@ -206,8 +237,12 @@ func (b *StreamBuilder[T]) Summary() (*Summary[T], error) {
 			maxV = b.bufMax
 		}
 	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
 	return &Summary[T]{
-		samples:  merge.KWay(lists),
+		samples:  merge.KWayInto(getSamples[T](total), lists),
 		step:     int64(b.cfg.Step()),
 		runs:     runs,
 		n:        b.N(),

@@ -126,6 +126,7 @@ func BenchmarkEngineCompactedServe(b *testing.B) {
 			if depth := e.Stats().Epochs; compact == (depth == epochs) {
 				b.Fatalf("ring depth %d does not match compact=%v", depth, compact)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
@@ -136,6 +137,58 @@ func BenchmarkEngineCompactedServe(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestCompactedServeAllocs pins the allocation count of the compacted
+// serving loop — one ingest plus one snapshot-rebuilding query — so a
+// regression that re-introduces per-merge buffer allocations (the pooled
+// buffers of core.MergeAll / StreamBuilder.Summary) fails loudly rather
+// than showing up only in benchmark output. The measured steady state is
+// ~32 allocs/op (snapshot + histogram construction, which are per-rebuild
+// by design); the threshold leaves ~2× headroom for toolchain drift.
+func TestCompactedServeAllocs(t *testing.T) {
+	const runLen = 256
+	e, err := New[int64](Options{
+		Config:     core.Config{RunLen: runLen, SampleSize: 32},
+		Stripes:    1,
+		Compaction: CompactionPolicy{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	batch := make([]int64, runLen)
+	for ep := 0; ep < 64; ep++ {
+		for i := range batch {
+			batch[i] = rng.Int63n(1 << 48)
+		}
+		if err := e.IngestBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if sealed, err := e.Rotate(); err != nil || !sealed {
+			t.Fatalf("epoch %d: sealed=%v err=%v", ep, sealed, err)
+		}
+	}
+	// Warm the pools: the first rebuilds populate the per-type free lists.
+	for i := 0; i < 8; i++ {
+		if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Quantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Quantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 64 {
+		t.Fatalf("compacted serve loop: %.1f allocs/op, want ≤ 64 (merge buffers no longer pooled?)", allocs)
 	}
 }
 

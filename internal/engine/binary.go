@@ -1,0 +1,175 @@
+// Binary ingest over HTTP: POST /ingest (and /t/{tenant}/ingest) with
+// Content-Type application/octet-stream carries runio ingest frames
+// instead of the JSON body — the same length-prefixed, CRC-checked
+// encoding the TCP listener (tcp.go) and the checkpoint format speak, so
+// an element is encoded exactly once end to end.
+//
+// A request body holds one or more data frames; the response body is
+// binary too: one ack frame covering every element ingested, followed by
+// one nack frame when the request stopped early (backpressure or a
+// protocol error). A client that sent n frames and reads an ack for fewer
+// elements knows exactly which suffix to retry.
+package engine
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"opaq/internal/runio"
+)
+
+// wireBuffers is the per-request scratch of one binary ingest: pooled on
+// the handler so the steady state reuses one payload buffer, one decoded
+// batch and one response buffer — zero allocations per element.
+type wireBuffers[T any] struct {
+	payload []byte
+	elems   []T
+	resp    []byte
+}
+
+func (h *handler[T]) getBufs() *wireBuffers[T] {
+	if v := h.bufs.Get(); v != nil {
+		return v.(*wireBuffers[T])
+	}
+	return &wireBuffers[T]{}
+}
+
+// isBinaryIngest reports whether the request carries ingest frames.
+func isBinaryIngest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == "application/octet-stream"
+}
+
+// shedNow applies rotate-then-check backpressure against bound: a backlog
+// of completed runs below the engine's own seal triggers is sealed first,
+// and only unsealable pending state sheds. bound ≤ 0 never sheds.
+func shedNow[T cmp.Ordered](eng *Engine[T], bound int64) (bool, error) {
+	if bound <= 0 || eng.PendingBytes() < bound {
+		return false, nil
+	}
+	if _, err := eng.Rotate(); err != nil {
+		return false, err
+	}
+	return eng.PendingBytes() >= bound, nil
+}
+
+// retrySeconds is the whole-seconds Retry-After hint for a shed ingest,
+// adapted to the engine's observed seal cadence (see retryAfterHint).
+func retrySeconds[T cmp.Ordered](eng *Engine[T], explicit time.Duration) uint32 {
+	iv, ok := eng.SealInterval()
+	retry := retryAfterHint(explicit, iv, ok)
+	return uint32((retry + time.Second - 1) / time.Second)
+}
+
+// ingestBinary handles one application/octet-stream ingest request.
+func (h *handler[T]) ingestBinary(eng *Engine[T], w http.ResponseWriter, r *http.Request) {
+	if h.codec == nil {
+		writeJSON(w, http.StatusUnsupportedMediaType, map[string]string{
+			"error": "binary ingest not enabled: handler has no codec",
+		})
+		return
+	}
+	if limit := h.opts.MaxBodyBytes; limit >= 0 {
+		if limit == 0 {
+			limit = DefaultMaxBodyBytes
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	// The frame tenant, when set, must name the engine the route already
+	// resolved — a safety rail against a client streaming one tenant's
+	// frames at another tenant's URL.
+	route := r.PathValue("tenant")
+	if route == "" && h.reg != nil {
+		route = DefaultTenant
+	}
+
+	bufs := h.getBufs()
+	defer h.bufs.Put(bufs)
+	var ingested int64
+	status := http.StatusOK
+	var nackRetry uint32
+	var nackMsg string
+
+frames:
+	for {
+		fh, err := runio.ReadFrameHeader(r.Body, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			status, nackMsg = http.StatusBadRequest, err.Error()
+			break
+		}
+		if fh.Type != runio.FrameData {
+			status, nackMsg = http.StatusBadRequest, fmt.Sprintf("frame type %d: only data frames ingest", fh.Type)
+			break
+		}
+		if fh.Kind != h.codec.Kind() {
+			status, nackMsg = http.StatusBadRequest, fmt.Sprintf("codec kind %d, engine speaks %d", fh.Kind, h.codec.Kind())
+			break
+		}
+		bufs.payload, err = runio.ReadFramePayload(r.Body, fh, bufs.payload)
+		if err != nil {
+			status, nackMsg = http.StatusBadRequest, err.Error()
+			break
+		}
+		tenant, elemBytes, err := runio.SplitDataPayload(bufs.payload, h.codec.Size())
+		if err != nil {
+			status, nackMsg = http.StatusBadRequest, err.Error()
+			break
+		}
+		if tenant != "" && tenant != route {
+			status, nackMsg = http.StatusBadRequest, fmt.Sprintf("frame tenant %q on route tenant %q", tenant, route)
+			break
+		}
+		bufs.elems, err = runio.DecodeFrameElems(h.codec, elemBytes, bufs.elems[:0])
+		if err != nil {
+			status, nackMsg = http.StatusBadRequest, err.Error()
+			break
+		}
+		// Per-frame admission, so a multi-frame body sheds mid-stream with
+		// an exact ack for what landed instead of rejecting wholesale.
+		shed, err := shedNow(eng, h.opts.MaxPendingBytes)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if shed {
+			status = http.StatusTooManyRequests
+			nackRetry = retrySeconds(eng, h.opts.RetryAfter)
+			nackMsg = "ingest backpressure: unsealed bytes over bound"
+			break
+		}
+		if err := eng.IngestBatch(bufs.elems); err != nil {
+			if errors.Is(err, ErrBacklogged) {
+				status = http.StatusTooManyRequests
+				nackRetry = retrySeconds(eng, h.opts.RetryAfter)
+				nackMsg = err.Error()
+				break frames
+			}
+			writeErr(w, err)
+			return
+		}
+		ingested += int64(len(bufs.elems))
+	}
+
+	bufs.resp = runio.AppendAckFrame(bufs.resp[:0], uint32(ingested), eng.N())
+	if status != http.StatusOK {
+		bufs.resp = runio.AppendNackFrame(bufs.resp, nackRetry, nackMsg)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.FormatUint(uint64(nackRetry), 10))
+	}
+	w.WriteHeader(status)
+	w.Write(bufs.resp)
+}

@@ -440,6 +440,7 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 	for _, ep := range ring {
 		sums = append(sums, ep.Summary)
 	}
+	stripeStart := len(sums)
 	for _, st := range e.stripes {
 		st.mu.Lock()
 		sum, err := st.sb.Summary()
@@ -457,6 +458,13 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 	acc, err := core.MergeAll(sums)
 	if err != nil {
 		return nil, err
+	}
+	// The stripe summaries were cut fresh above and MergeAll's result never
+	// aliases its inputs, so this rebuild is their only reader: recycle
+	// their sample buffers for the next rebuild. Ring epochs are shared
+	// with concurrent readers and stay untouched.
+	for _, sum := range sums[stripeStart:] {
+		core.RecycleSummary(sum)
 	}
 	snap := &Snapshot[T]{Summary: acc, Version: version}
 	if acc.N() > 0 {

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"opaq/internal/core"
+	"opaq/internal/runio"
 )
 
 // ParseKey converts a decimal string into a key; FormatKey is its inverse.
@@ -108,7 +110,12 @@ type handler[T cmp.Ordered] struct {
 	reg    *Registry[T] // nil for single-engine handlers
 	single *Engine[T]   // nil for registry handlers
 	parse  ParseKey[T]
+	codec  runio.Codec[T] // nil disables binary ingest (415)
 	opts   HandlerOptions
+	// bufs pools per-request binary-ingest scratch (*wireBuffers[T]):
+	// frame payload, decoded batch and response buffers survive across
+	// requests, so the binary path allocates nothing per element.
+	bufs sync.Pool
 }
 
 // NewHandler returns the single-engine HTTP API. parse converts request
@@ -120,7 +127,16 @@ func NewHandler[T cmp.Ordered](e *Engine[T], parse ParseKey[T]) http.Handler {
 
 // NewHandlerOpts is NewHandler with explicit protection limits.
 func NewHandlerOpts[T cmp.Ordered](e *Engine[T], parse ParseKey[T], opts HandlerOptions) http.Handler {
-	h := &handler[T]{single: e, parse: parse, opts: opts}
+	return NewHandlerCodec(e, parse, nil, opts)
+}
+
+// NewHandlerCodec is NewHandlerOpts plus a codec enabling the binary
+// ingest path: POST /ingest with Content-Type application/octet-stream
+// carries runio ingest frames (see runio.AppendDataFrame) instead of
+// JSON, decoding straight into the engine with zero per-element
+// allocations. A nil codec answers binary ingests with 415.
+func NewHandlerCodec[T cmp.Ordered](e *Engine[T], parse ParseKey[T], codec runio.Codec[T], opts HandlerOptions) http.Handler {
+	h := &handler[T]{single: e, parse: parse, codec: codec, opts: opts}
 	mux := http.NewServeMux()
 	h.engineRoutes(mux, "")
 	mux.HandleFunc("GET /healthz", h.healthz)
@@ -131,7 +147,9 @@ func NewHandlerOpts[T cmp.Ordered](e *Engine[T], parse ParseKey[T], opts Handler
 // The root engine routes address the DefaultTenant (creating it is the
 // caller's choice; without it they answer 404).
 func NewRegistryHandler[T cmp.Ordered](reg *Registry[T], parse ParseKey[T], opts HandlerOptions) http.Handler {
-	h := &handler[T]{reg: reg, parse: parse, opts: opts}
+	// The registry's checkpoint codec doubles as the wire codec: both are
+	// the element's runio encoding. Registries without one serve JSON only.
+	h := &handler[T]{reg: reg, parse: parse, codec: reg.opts.Codec, opts: opts}
 	mux := http.NewServeMux()
 	h.engineRoutes(mux, "")            // default-tenant alias
 	h.engineRoutes(mux, "/t/{tenant}") // tenant-scoped
@@ -224,6 +242,10 @@ var errBadRequest = errors.New("bad request")
 const maxQuantiles = 4096
 
 func (h *handler[T]) ingest(eng *Engine[T], w http.ResponseWriter, r *http.Request) {
+	if isBinaryIngest(r) {
+		h.ingestBinary(eng, w, r)
+		return
+	}
 	// Backpressure: while unsealed bytes exceed the bound, shed instead of
 	// buffering. The backlog may consist of completed runs that sit below
 	// the engine's own seal triggers, so first rotate — sealing whatever
@@ -231,13 +253,12 @@ func (h *handler[T]) ingest(eng *Engine[T], w http.ResponseWriter, r *http.Reque
 	// still exceeds the bound; otherwise a bound below the trigger
 	// threshold would wedge into a permanent 429 with nothing ever
 	// draining.
-	if h.opts.MaxPendingBytes > 0 && eng.PendingBytes() >= h.opts.MaxPendingBytes {
-		if _, err := eng.Rotate(); err != nil {
-			writeErr(w, err)
-			return
-		}
+	shed, err := shedNow(eng, h.opts.MaxPendingBytes)
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
-	if h.opts.MaxPendingBytes > 0 && eng.PendingBytes() >= h.opts.MaxPendingBytes {
+	if shed {
 		h.shed429(eng, w, h.opts.MaxPendingBytes)
 		return
 	}

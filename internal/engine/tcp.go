@@ -1,0 +1,299 @@
+// Persistent-connection TCP ingest: the wire-speed path for writers that
+// outgrow HTTP request framing. A client dials once, streams runio ingest
+// frames (frame.go's length-prefixed, CRC-checked batches), and reads one
+// ack or nack frame per batch. Frames route to tenants by their header
+// field, so one connection can feed a whole registry.
+//
+// Semantics are at-least-once at batch granularity: every ack is flushed
+// before the next frame is read, so an acked batch is resident in its
+// engine (and included in any later checkpoint). A connection dropped
+// mid-batch — by a network fault or a shutdown deadline — leaves the
+// client unsure about its last unacked batch only; retrying it may
+// duplicate those elements, never lose them.
+//
+// Error handling follows the framing: a per-batch problem (unknown
+// tenant, backpressure, wrong codec kind) is nacked and the stream
+// continues, because frame boundaries are still trustworthy; a framing
+// problem (bad magic, checksum mismatch, truncation) nacks and drops the
+// connection, because nothing after the corruption can be trusted.
+package engine
+
+import (
+	"bufio"
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"opaq/internal/runio"
+)
+
+// TCPOptions tunes a TCPServer.
+type TCPOptions struct {
+	// MaxFramePayload caps one frame's payload bytes. 0 means
+	// runio.DefaultMaxFramePayload.
+	MaxFramePayload uint32
+	// MaxPendingBytes sheds batches with a nack while the target engine's
+	// unsealed bytes exceed it — the same rotate-then-check backpressure
+	// the HTTP layer applies. 0 disables shedding (the engine's own
+	// Options.MaxPending still applies).
+	MaxPendingBytes int64
+	// RetryAfter is the nack's retry hint. 0 means adaptive from the
+	// engine's observed seal cadence, as in HandlerOptions.RetryAfter.
+	RetryAfter time.Duration
+}
+
+// TCPServer serves the binary ingest protocol over persistent
+// connections, for one engine or a whole registry.
+type TCPServer[T cmp.Ordered] struct {
+	reg    *Registry[T] // nil for single-engine servers
+	single *Engine[T]   // nil for registry servers
+	codec  runio.Codec[T]
+	opts   TCPOptions
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewTCPServer returns a TCP ingest server feeding one engine. Frames
+// with an empty tenant (and, for compatibility with registry clients,
+// the DefaultTenant name) are accepted; other tenants are nacked.
+func NewTCPServer[T cmp.Ordered](e *Engine[T], codec runio.Codec[T], opts TCPOptions) *TCPServer[T] {
+	return &TCPServer[T]{single: e, codec: codec, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// NewRegistryTCPServer returns a TCP ingest server routing frames to
+// registry tenants by their tenant field (empty means DefaultTenant).
+func NewRegistryTCPServer[T cmp.Ordered](reg *Registry[T], codec runio.Codec[T], opts TCPOptions) *TCPServer[T] {
+	return &TCPServer[T]{reg: reg, codec: codec, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean shutdown it is net.ErrClosed.
+func (s *TCPServer[T]) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains the server: the listener closes immediately, handlers
+// blocked between batches unblock and exit, and handlers mid-batch get
+// until ctx's deadline to finish and ack; then remaining connections are
+// closed forcibly. Acked batches are always resident (acks are flushed
+// before the next read), so a forced close risks duplicating at most one
+// unacked batch per connection, never losing one.
+func (s *TCPServer[T]) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	for c := range s.conns {
+		// Nudge handlers parked in a read between batches: the pending
+		// read fails at once and the handler exits on the drain flag. A
+		// handler mid-batch is past its read and completes normally.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.closeConns()
+	<-done
+	return ctx.Err()
+}
+
+// Close shuts down without a drain: listener and all connections close
+// immediately.
+func (s *TCPServer[T]) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *TCPServer[T]) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *TCPServer[T]) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// resolve maps a frame's tenant field to an engine.
+func (s *TCPServer[T]) resolve(tenant string) (*Engine[T], error) {
+	if s.single != nil {
+		if tenant == "" || tenant == DefaultTenant {
+			return s.single, nil
+		}
+		return nil, fmt.Errorf("%w: %q (single-engine listener)", ErrUnknownTenant, tenant)
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return s.reg.Get(tenant)
+}
+
+// connState is one connection's reusable scratch: the payload, decoded
+// batch and response buffers live as long as the connection, so a
+// steady-state stream allocates nothing per batch.
+type connState[T any] struct {
+	payload []byte
+	elems   []T
+	resp    []byte
+}
+
+func (s *TCPServer[T]) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 4<<10)
+	var st connState[T]
+
+	// nack sends a rejection; fatal when framing is lost.
+	nack := func(retry uint32, msg string) bool {
+		st.resp = runio.AppendNackFrame(st.resp[:0], retry, msg)
+		if _, err := bw.Write(st.resp); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	for {
+		if s.isDraining() {
+			return
+		}
+		fh, err := runio.ReadFrameHeader(br, s.opts.MaxFramePayload)
+		if err == io.EOF {
+			return // clean close at a frame boundary
+		}
+		if err != nil {
+			if s.isDraining() {
+				return // Shutdown nudged the blocked read
+			}
+			// Covers ErrFrame (framing lost) and ErrFrameTooLarge (the
+			// stream position is now mid-frame): nack and drop.
+			nack(0, err.Error())
+			return
+		}
+		if fh.Type != runio.FrameData {
+			nack(0, fmt.Sprintf("frame type %d: only data frames ingest", fh.Type))
+			return
+		}
+		if fh.Kind != s.codec.Kind() {
+			// The next frame is still readable, but a client speaking the
+			// wrong element type will never succeed: drop after the nack.
+			nack(0, fmt.Sprintf("codec kind %d, server speaks %d", fh.Kind, s.codec.Kind()))
+			return
+		}
+		st.payload, err = runio.ReadFramePayload(br, fh, st.payload)
+		if err != nil {
+			if s.isDraining() {
+				return
+			}
+			nack(0, err.Error())
+			return
+		}
+		tenant, elemBytes, err := runio.SplitDataPayload(st.payload, s.codec.Size())
+		if err != nil {
+			nack(0, err.Error())
+			return
+		}
+		eng, err := s.resolve(tenant)
+		if err != nil {
+			// Frame boundaries are intact: nack this batch, keep serving.
+			if !nack(0, err.Error()) {
+				return
+			}
+			continue
+		}
+		st.elems, err = runio.DecodeFrameElems(s.codec, elemBytes, st.elems[:0])
+		if err != nil {
+			nack(0, err.Error())
+			return
+		}
+		shed, err := shedNow(eng, s.opts.MaxPendingBytes)
+		if err != nil {
+			nack(0, err.Error())
+			return
+		}
+		if shed {
+			if !nack(retrySeconds(eng, s.opts.RetryAfter), "ingest backpressure: unsealed bytes over bound") {
+				return
+			}
+			continue
+		}
+		if err := eng.IngestBatch(st.elems); err != nil {
+			if errors.Is(err, ErrBacklogged) {
+				if !nack(retrySeconds(eng, s.opts.RetryAfter), err.Error()) {
+					return
+				}
+				continue
+			}
+			nack(0, err.Error())
+			return
+		}
+		// Ack at batch granularity, flushed before the next read: once the
+		// client sees it, the batch is durable in the engine.
+		st.resp = runio.AppendAckFrame(st.resp[:0], uint32(len(st.elems)), eng.N())
+		if _, err := bw.Write(st.resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -154,6 +154,15 @@ func CompactionSweep(scale int) (*Table, error) {
 			fmt.Sprintf("%d", st.Compactions),
 			fmt.Sprintf("%d", st.Epochs),
 			rebuild.Round(10*time.Microsecond).String())
+		key := "compact/uncompacted/"
+		if c.compact {
+			key = "compact/compacted/"
+		}
+		// Context-only (ungated): stream times swing with machine load,
+		// and ring depth is pinned by the equivalence tests already.
+		t.AddMetric(key+"stream_ns", float64(elapsed.Nanoseconds()), "ns", "lower", false)
+		t.AddMetric(key+"final_rebuild_ns", float64(rebuild.Nanoseconds()), "ns", "lower", false)
+		t.AddMetric(key+"final_ring_depth", float64(st.Epochs), "epochs", "lower", false)
 	}
 	return t, nil
 }

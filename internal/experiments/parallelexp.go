@@ -355,6 +355,7 @@ func All() map[string]func(scale int) (*Table, error) {
 		"sharded": ShardSweep,
 		"engine":  EngineSweep,
 		"compact": CompactionSweep,
+		"ingest":  IngestSweep,
 	}
 }
 
@@ -362,7 +363,7 @@ func All() map[string]func(scale int) (*Table, error) {
 var Order = []string{
 	"table3", "table4", "table5", "table6", "table7",
 	"figure3", "table9", "table10", "table11", "table12",
-	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "engine", "compact",
+	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "engine", "compact", "ingest",
 }
 
 // FigureOverlap is an extension experiment beyond the paper's evaluation:

@@ -25,6 +25,30 @@ type Table struct {
 	Rows   []Row
 	// Notes carry calibration caveats shown under the table.
 	Notes []string
+	// Metrics are the experiment's machine-readable measurements, the
+	// feed for benchtab -json and its baseline regression gate. They
+	// duplicate what the formatted rows show, in comparable units.
+	Metrics []Metric
+}
+
+// Metric is one machine-readable measurement. Names are
+// slash-namespaced ("ingest/tcp/elems_per_sec") so one JSON file can
+// hold every experiment's trajectory.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Better is "higher" or "lower": which direction is an improvement.
+	// The regression gate needs it to tell a win from a loss.
+	Better string `json:"better"`
+	// Gate opts the metric into benchtab's -regress check. Leave false
+	// for context-only measurements too noisy to gate CI on.
+	Gate bool `json:"gate,omitempty"`
+}
+
+// AddMetric appends a machine-readable measurement.
+func (t *Table) AddMetric(name string, value float64, unit, better string, gate bool) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Value: value, Unit: unit, Better: better, Gate: gate})
 }
 
 // Row is one table row.

@@ -10,6 +10,7 @@ package merge
 import (
 	"cmp"
 	"errors"
+	"slices"
 )
 
 // ErrUnsorted is returned by validating entry points when an input list is
@@ -21,6 +22,14 @@ var ErrUnsorted = errors.New("merge: input list is not sorted")
 // k lists. Input slices are not modified. Ties are broken by list index, so
 // the merge is stable across lists.
 func KWay[T cmp.Ordered](lists [][]T) []T {
+	return KWayInto(nil, lists)
+}
+
+// KWayInto is KWay appending into dst, so a caller that recycles merge
+// buffers (sync.Pool or an arena) avoids the per-merge output allocation.
+// dst is grown once up-front; the merged elements never alias the inputs,
+// even in the single-list fast path, which copies.
+func KWayInto[T cmp.Ordered](dst []T, lists [][]T) []T {
 	total := 0
 	nonEmpty := 0
 	for _, l := range lists {
@@ -29,14 +38,14 @@ func KWay[T cmp.Ordered](lists [][]T) []T {
 			nonEmpty++
 		}
 	}
-	out := make([]T, 0, total)
+	dst = slices.Grow(dst, total)
 	switch nonEmpty {
 	case 0:
-		return out
+		return dst
 	case 1:
 		for _, l := range lists {
 			if len(l) > 0 {
-				return append(out, l...)
+				return append(dst, l...)
 			}
 		}
 	}
@@ -44,9 +53,9 @@ func KWay[T cmp.Ordered](lists [][]T) []T {
 	for {
 		v, ok := lt.pop()
 		if !ok {
-			return out
+			return dst
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 	}
 }
 

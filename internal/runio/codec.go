@@ -32,6 +32,19 @@ type Codec[T any] interface {
 	Kind() uint16
 }
 
+// BulkCodec is an optional Codec extension: codecs that can encode and
+// decode whole slices without a per-element indirect call. The frame hot
+// path (AppendDataFrame, DecodeFrameElems) uses it when present — on a
+// wire-speed stream the per-element interface dispatch is a measurable
+// fraction of the total — and every codec in this package implements it.
+type BulkCodec[T any] interface {
+	// AppendElems appends each element's wire record to dst.
+	AppendElems(dst []byte, xs []T) []byte
+	// DecodeElems appends each record in src, whose length must be a
+	// multiple of Size(), to dst.
+	DecodeElems(dst []T, src []byte) []T
+}
+
 // Codec kinds recorded in file headers.
 const (
 	KindInt64   uint16 = 1
@@ -58,6 +71,22 @@ func (Int64Codec) Decode(buf []byte) int64 { return int64(binary.LittleEndian.Ui
 // Kind implements Codec.
 func (Int64Codec) Kind() uint16 { return KindInt64 }
 
+// AppendElems implements BulkCodec.
+func (Int64Codec) AppendElems(dst []byte, xs []int64) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Int64Codec) DecodeElems(dst []int64, src []byte) []int64 {
+	for ; len(src) >= 8; src = src[8:] {
+		dst = append(dst, int64(binary.LittleEndian.Uint64(src)))
+	}
+	return dst
+}
+
 // Float64Codec encodes float64 keys via their IEEE-754 bits.
 type Float64Codec struct{}
 
@@ -77,6 +106,22 @@ func (Float64Codec) Decode(buf []byte) float64 {
 // Kind implements Codec.
 func (Float64Codec) Kind() uint16 { return KindFloat64 }
 
+// AppendElems implements BulkCodec.
+func (Float64Codec) AppendElems(dst []byte, xs []float64) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Float64Codec) DecodeElems(dst []float64, src []byte) []float64 {
+	for ; len(src) >= 8; src = src[8:] {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(src)))
+	}
+	return dst
+}
+
 // Uint64Codec encodes uint64 keys little-endian.
 type Uint64Codec struct{}
 
@@ -91,6 +136,22 @@ func (Uint64Codec) Decode(buf []byte) uint64 { return binary.LittleEndian.Uint64
 
 // Kind implements Codec.
 func (Uint64Codec) Kind() uint16 { return KindUint64 }
+
+// AppendElems implements BulkCodec.
+func (Uint64Codec) AppendElems(dst []byte, xs []uint64) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Uint64Codec) DecodeElems(dst []uint64, src []byte) []uint64 {
+	for ; len(src) >= 8; src = src[8:] {
+		dst = append(dst, binary.LittleEndian.Uint64(src))
+	}
+	return dst
+}
 
 // Int32Codec encodes int32 keys little-endian, halving the disk footprint
 // for workloads whose key space fits 32 bits.
@@ -108,6 +169,22 @@ func (Int32Codec) Decode(buf []byte) int32 { return int32(binary.LittleEndian.Ui
 // Kind implements Codec.
 func (Int32Codec) Kind() uint16 { return KindInt32 }
 
+// AppendElems implements BulkCodec.
+func (Int32Codec) AppendElems(dst []byte, xs []int32) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Int32Codec) DecodeElems(dst []int32, src []byte) []int32 {
+	for ; len(src) >= 4; src = src[4:] {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(src)))
+	}
+	return dst
+}
+
 // Uint32Codec encodes uint32 keys little-endian.
 type Uint32Codec struct{}
 
@@ -122,6 +199,22 @@ func (Uint32Codec) Decode(buf []byte) uint32 { return binary.LittleEndian.Uint32
 
 // Kind implements Codec.
 func (Uint32Codec) Kind() uint16 { return KindUint32 }
+
+// AppendElems implements BulkCodec.
+func (Uint32Codec) AppendElems(dst []byte, xs []uint32) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Uint32Codec) DecodeElems(dst []uint32, src []byte) []uint32 {
+	for ; len(src) >= 4; src = src[4:] {
+		dst = append(dst, binary.LittleEndian.Uint32(src))
+	}
+	return dst
+}
 
 // Float32Codec encodes float32 keys via their IEEE-754 bits.
 type Float32Codec struct{}
@@ -141,6 +234,22 @@ func (Float32Codec) Decode(buf []byte) float32 {
 
 // Kind implements Codec.
 func (Float32Codec) Kind() uint16 { return KindFloat32 }
+
+// AppendElems implements BulkCodec.
+func (Float32Codec) AppendElems(dst []byte, xs []float32) []byte {
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// DecodeElems implements BulkCodec.
+func (Float32Codec) DecodeElems(dst []float32, src []byte) []float32 {
+	for ; len(src) >= 4; src = src[4:] {
+		dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(src)))
+	}
+	return dst
+}
 
 // kindName maps codec kinds to human-readable names for error messages.
 func kindName(k uint16) string {

@@ -7,15 +7,21 @@ import (
 	"math/rand"
 )
 
+// frSampleCutoff is the window size above which a partition round first
+// narrows the window by recursively selecting inside an n^(2/3)-element
+// sample; below it a plain partition round is cheaper than the sampling
+// arithmetic. 600 is the constant of [FR75].
+const frSampleCutoff = 600
+
 // SelectFloydRivest reorders xs so that xs[k] holds the element of rank k
 // and returns it, using the SELECT algorithm of Floyd and Rivest ([FR75]
-// in the paper): recursively select inside a small random sample to obtain
-// two pivots that sandwich the target rank with high probability, then
-// partition once. Expected comparisons approach the information-theoretic
-// n + min(k, n−k) + o(n) — measurably fewer than quickselect's ~2n — at
-// the cost of the paper's quoted O(m²) worst case, which this
-// implementation avoids by falling back to the introselect Select after
-// too many failed sandwiches.
+// in the paper): recursively select inside a small sample window to obtain
+// a pivot that lands near the target rank with high probability, then
+// partition once with a two-pointer pass. Expected comparisons approach
+// the information-theoretic n + min(k, n−k) + o(n) — measurably fewer than
+// quickselect's ~2n, with far fewer swaps than a Dutch-flag pass — at the
+// cost of the paper's quoted O(m²) worst case, which this implementation
+// avoids by falling back to the introselect path after a round budget.
 func SelectFloydRivest[T cmp.Ordered](xs []T, k int, rng *rand.Rand) (T, error) {
 	var zero T
 	if k < 0 || k >= len(xs) {
@@ -24,64 +30,81 @@ func SelectFloydRivest[T cmp.Ordered](xs []T, k int, rng *rand.Rand) (T, error) 
 	if rng == nil {
 		rng = rand.New(rand.NewSource(0x46b52d01))
 	}
-	lo, hi := 0, len(xs)-1 // inclusive, the classic formulation
-	retries := 0
-	for hi > lo {
-		if hi-lo < 600 {
-			insertionSort(xs[lo : hi+1])
-			return xs[k], nil
-		}
-		if retries > 4 {
-			// Sandwich keeps failing (adversarial/duplicate-heavy input):
-			// delegate to the worst-case-linear path.
-			return Select(xs[lo:hi+1], k-lo, rng)
-		}
-		// Sample size and spread per Floyd–Rivest: operate on a window of
-		// size s around the target's expected position within a sample of
-		// n^(2/3) elements.
-		n := float64(hi - lo + 1)
-		i := float64(k - lo + 1)
-		z := math.Log(n)
-		s := 0.5 * math.Exp(2*z/3)
-		sd := 0.5 * math.Sqrt(z*s*(n-s)/n)
-		if i < n/2 {
-			sd = -sd
-		}
-		newLo := maxInt(lo, int(float64(k)-i*s/n+sd))
-		newHi := minInt(hi, int(float64(k)+(n-i)*s/n+sd))
-		// Recursively place rank k within the narrowed window; this is the
-		// sample-selection step (the window acts as the sample).
-		if _, err := SelectFloydRivest(xs[newLo:newHi+1], k-newLo, rng); err != nil {
-			return zero, err
-		}
-		pv := xs[k]
-		// Three-way partition of [lo, hi] around pv.
-		lt, gt := partition3(xs, lo, hi+1, k)
-		_ = pv
-		switch {
-		case k < lt:
-			hi = lt - 1
-			retries++
-		case k >= gt:
-			lo = gt
-			retries++
-		default:
-			return xs[k], nil
-		}
-	}
+	floydRivestInPlace(xs, 0, len(xs), k, rng)
 	return xs[k], nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// floydRivestInPlace reorders xs[lo:hi) so that xs[k] holds the element of
+// global rank k (lo ≤ k < hi), with xs[lo:k] ≤ xs[k] ≤ xs[k+1:hi) — the
+// same partial-partition contract as selectInPlace, which multiSelect's
+// recursive splitting depends on. This is the classic iterative
+// formulation of [FR75]: each round partitions the active window around
+// xs[k] (pre-positioned by the sample recursion when the window is large),
+// keeping the side containing k. The rng is used only by the introselect
+// fallback that bounds adversarial inputs.
+func floydRivestInPlace[T cmp.Ordered](xs []T, lo, hi, k int, rng *rand.Rand) {
+	left, right := lo, hi-1 // inclusive window, the classic formulation
+	budget := 4 * bitLen(hi-lo)
+	for right > left {
+		if right-left < smallCutoff {
+			insertionSort(xs[left : right+1])
+			return
+		}
+		if budget <= 0 {
+			// Partitions keep landing far from k (adversarial or
+			// duplicate-pathological input): delegate to the
+			// worst-case-linear path.
+			selectInPlace(xs, left, right+1, k, rng)
+			return
+		}
+		budget--
+		if right-left >= frSampleCutoff {
+			// Narrow the window to ~n^(2/3) elements straddling the
+			// target's expected position, per [FR75], so the partition
+			// pivot xs[k] below sandwiches rank k with high probability.
+			n := float64(right - left + 1)
+			i := float64(k - left + 1)
+			z := math.Log(n)
+			s := 0.5 * math.Exp(2*z/3)
+			sd := 0.5 * math.Sqrt(z*s*(n-s)/n)
+			if i < n/2 {
+				sd = -sd
+			}
+			newLeft := max(left, int(float64(k)-i*s/n+sd))
+			newRight := min(right, int(float64(k)+(n-i)*s/n+sd))
+			floydRivestInPlace(xs, newLeft, newRight+1, k, rng)
+		}
+		// Two-pointer partition of [left, right] around t = xs[k]. The
+		// copies of t parked at the window ends act as sentinels, so the
+		// inner scans need no bounds checks.
+		t := xs[k]
+		i, j := left, right
+		xs[left], xs[k] = xs[k], xs[left]
+		if xs[right] > t {
+			xs[right], xs[left] = xs[left], xs[right]
+		}
+		for i < j {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+			j--
+			for xs[i] < t {
+				i++
+			}
+			for xs[j] > t {
+				j--
+			}
+		}
+		if xs[left] == t {
+			xs[left], xs[j] = xs[j], xs[left]
+		} else {
+			j++
+			xs[j], xs[right] = xs[right], xs[j]
+		}
+		if j <= k {
+			left = j + 1
+		}
+		if k <= j {
+			right = j - 1
+		}
 	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

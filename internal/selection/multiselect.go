@@ -16,7 +16,9 @@ import (
 // slice is recursively split at the median rank of the remaining targets, so
 // each level of recursion does linear work over disjoint ranges and there
 // are at most ⌈log₂ len(ranks)⌉+1 levels — O(m log s) in total for s ranks
-// over a run of m elements.
+// over a run of m elements. Each split is a Floyd–Rivest selection
+// (floydRivestInPlace), whose single near-target partition pass per level
+// keeps the constant close to one comparison per element per level.
 func MultiSelect[T cmp.Ordered](xs []T, ranks []int, rng *rand.Rand) ([]T, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(0x51ed2701))
@@ -81,11 +83,11 @@ func RegularSample[T cmp.Ordered](run []T, s int, rng *rand.Rand) ([]T, error) {
 func multiSelect[T cmp.Ordered](xs []T, lo, hi int, targets []int, rng *rand.Rand) {
 	for len(targets) > 0 {
 		if len(targets) == 1 {
-			selectInPlace(xs, lo, hi, targets[0], rng)
+			floydRivestInPlace(xs, lo, hi, targets[0], rng)
 			return
 		}
 		mid := targets[len(targets)/2]
-		selectInPlace(xs, lo, hi, mid, rng)
+		floydRivestInPlace(xs, lo, hi, mid, rng)
 		// xs[mid] now has exact rank mid; ranks below it live in [lo, mid),
 		// ranks above it in (mid, hi). Split the target list accordingly and
 		// recurse on the smaller side, looping on the larger (tail-call

@@ -1,0 +1,384 @@
+// Package opaqclient is the client side of the binary ingest path: it
+// batches elements locally and ships them as runio ingest frames over a
+// persistent TCP connection (DialTCP) or HTTP (NewHTTP), so callers hit
+// the wire-speed path by default instead of per-element JSON.
+//
+// Batches flush on two triggers, mirroring the server's EpochPolicy
+// shape: a size trigger (MaxBatch elements) and an optional wall-clock
+// trigger (FlushInterval), whichever fires first. Every flush is one data
+// frame acknowledged at batch granularity; an acked batch is resident in
+// the server's engine and included in any later checkpoint.
+//
+// Backpressure is first-class: when the server sheds a batch, Flush (or
+// the Add that triggered it) returns a *Backpressure carrying the
+// server's Retry-After hint, and the batch stays buffered — the caller
+// backs off and retries, or keeps Adding and lets the interval trigger
+// retry, without losing elements.
+package opaqclient
+
+import (
+	"bufio"
+	"bytes"
+	"cmp"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"opaq/internal/runio"
+)
+
+// DefaultMaxBatch is the size trigger when Options.MaxBatch is zero: 8192
+// elements keeps a default int64 frame at 64 KiB — large enough to
+// amortize the round trip, small enough to stay far under frame and body
+// limits.
+const DefaultMaxBatch = 8192
+
+// Options configures a Client.
+type Options struct {
+	// Tenant routes batches on multi-tenant servers. Empty means the
+	// server's default tenant.
+	Tenant string
+	// MaxBatch is the size trigger: a batch flushes as soon as it holds
+	// this many elements. 0 means DefaultMaxBatch.
+	MaxBatch int
+	// FlushInterval, when positive, is the wall-clock trigger: a
+	// background goroutine flushes any buffered elements this often, so a
+	// slow producer's elements still become queryable promptly. Flush
+	// errors other than backpressure are sticky and surface on the next
+	// Add/Flush/Close.
+	FlushInterval time.Duration
+	// HTTPClient overrides the HTTP transport's client (NewHTTP only).
+	// nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Backpressure is the error a shed batch returns: the server's unsealed
+// backlog is over its bound. The batch remains buffered in the client;
+// retry after RetryAfter.
+type Backpressure struct {
+	// RetryAfter is the server's hint for when the backlog plausibly
+	// drained.
+	RetryAfter time.Duration
+	// Msg is the server's diagnostic.
+	Msg string
+}
+
+func (b *Backpressure) Error() string {
+	return fmt.Sprintf("opaqclient: server backpressure (retry after %v): %s", b.RetryAfter, b.Msg)
+}
+
+// transport ships one encoded data frame and returns the server's ack:
+// elements acknowledged and the engine's element count. A shed batch
+// returns a *Backpressure.
+type transport interface {
+	roundTrip(frame []byte) (acked uint32, n int64, err error)
+	close() error
+}
+
+// Client batches elements toward one server. All methods are safe for
+// concurrent use; batching keeps element order within one goroutine.
+type Client[T cmp.Ordered] struct {
+	codec       runio.Codec[T]
+	tr          transport
+	frameTenant string // tenant field inside data frames
+	maxBatch    int
+
+	mu    sync.Mutex
+	buf   []T
+	frame []byte
+	lastN int64
+	err   error // sticky background-flush error
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// DialTCP connects to a TCP ingest listener (opaq serve -ingest-addr).
+// The connection is persistent; Close flushes and hangs it up.
+func DialTCP[T cmp.Ordered](addr string, codec runio.Codec[T], opts Options) (*Client[T], error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tr := &tcpTransport{conn: conn, br: bufio.NewReaderSize(conn, 16<<10)}
+	// TCP routes by the frame's tenant field.
+	return newClient(codec, tr, opts.Tenant, opts), nil
+}
+
+// NewHTTP returns a client posting binary batches to baseURL's ingest
+// route — POST {baseURL}/ingest, or /t/{tenant}/ingest when
+// Options.Tenant is set.
+func NewHTTP[T cmp.Ordered](baseURL string, codec runio.Codec[T], opts Options) *Client[T] {
+	url := baseURL + "/ingest"
+	if opts.Tenant != "" {
+		url = baseURL + "/t/" + opts.Tenant + "/ingest"
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	// HTTP routes by URL; the frame tenant stays empty so the same client
+	// works against single-engine and registry servers alike.
+	return newClient(codec, &httpTransport{url: url, client: hc}, "", opts)
+}
+
+func newClient[T cmp.Ordered](codec runio.Codec[T], tr transport, frameTenant string, opts Options) *Client[T] {
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	c := &Client[T]{
+		codec:       codec,
+		tr:          tr,
+		frameTenant: frameTenant,
+		maxBatch:    maxBatch,
+		buf:         make([]T, 0, maxBatch),
+		stop:        make(chan struct{}),
+	}
+	if opts.FlushInterval > 0 {
+		c.wg.Add(1)
+		go c.flushLoop(opts.FlushInterval)
+	}
+	return c
+}
+
+// flushLoop is the wall-clock trigger: like the server's EpochPolicy
+// interval, it bounds how stale a buffered element can get.
+func (c *Client[T]) flushLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			err := c.flushLocked()
+			var bp *Backpressure
+			if err != nil && !errors.As(err, &bp) {
+				// Backpressure heals on a later tick; anything else is
+				// surfaced to the producer on its next call.
+				c.err = err
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Add buffers one element, flushing when the size trigger fires. The
+// returned error is the flush's (including *Backpressure, with the
+// element still buffered) or a sticky interval-flush failure.
+func (c *Client[T]) Add(v T) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.takeErr(); err != nil {
+		return err
+	}
+	c.buf = append(c.buf, v)
+	if len(c.buf) >= c.maxBatch {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// AddBatch buffers a batch, flushing every MaxBatch elements. On
+// backpressure the unflushed remainder stays buffered.
+func (c *Client[T]) AddBatch(vs []T) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.takeErr(); err != nil {
+		return err
+	}
+	for len(vs) > 0 {
+		take := c.maxBatch - len(c.buf)
+		if take > len(vs) {
+			take = len(vs)
+		}
+		c.buf = append(c.buf, vs[:take]...)
+		vs = vs[take:]
+		if len(c.buf) >= c.maxBatch {
+			if err := c.flushLocked(); err != nil {
+				// Keep the tail too: nothing is dropped on backpressure.
+				c.buf = append(c.buf, vs...)
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush sends any buffered elements now.
+func (c *Client[T]) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.takeErr(); err != nil {
+		return err
+	}
+	return c.flushLocked()
+}
+
+// N returns the server engine's element count from the last ack — a
+// read-your-writes watermark: every element this client flushed
+// successfully is included.
+func (c *Client[T]) N() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastN
+}
+
+// Buffered returns the number of elements awaiting a flush.
+func (c *Client[T]) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Close flushes buffered elements and releases the transport. A
+// backpressure shed on this final flush is returned as the *Backpressure
+// it is — the caller decides whether to retry with a new client or drop
+// the batch.
+func (c *Client[T]) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.mu.Lock()
+	err := c.takeErr()
+	if err == nil {
+		err = c.flushLocked()
+	}
+	c.mu.Unlock()
+	if cerr := c.tr.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// takeErr surfaces and clears the sticky interval-flush error.
+func (c *Client[T]) takeErr() error {
+	err := c.err
+	c.err = nil
+	return err
+}
+
+// flushLocked ships the buffer as one data frame. On success the buffer
+// empties; on error (backpressure included) every unacked element stays.
+func (c *Client[T]) flushLocked() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	var err error
+	c.frame, err = runio.AppendDataFrame(c.frame[:0], c.codec, c.frameTenant, c.buf)
+	if err != nil {
+		return err
+	}
+	acked, n, err := c.tr.roundTrip(c.frame)
+	if int(acked) >= len(c.buf) {
+		c.buf = c.buf[:0]
+	} else if acked > 0 {
+		// Partial acks only occur on multi-frame bodies, which one flush
+		// never sends, but honor them defensively: drop what landed, keep
+		// the rest buffered for the next flush.
+		c.buf = c.buf[:copy(c.buf, c.buf[acked:])]
+	}
+	if acked > 0 {
+		c.lastN = n
+	}
+	return err
+}
+
+// tcpTransport speaks the persistent-connection protocol of engine's
+// TCPServer: write a data frame, read one ack or nack frame.
+type tcpTransport struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	payload []byte
+}
+
+func (t *tcpTransport) roundTrip(frame []byte) (uint32, int64, error) {
+	if _, err := t.conn.Write(frame); err != nil {
+		return 0, 0, err
+	}
+	h, err := runio.ReadFrameHeader(t.br, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.payload, err = runio.ReadFramePayload(t.br, h, t.payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeResponse(h, t.payload)
+}
+
+func (t *tcpTransport) close() error { return t.conn.Close() }
+
+// httpTransport posts one frame per request to the binary ingest route
+// and decodes the frame-encoded response body.
+type httpTransport struct {
+	url     string
+	client  *http.Client
+	payload []byte
+}
+
+func (t *httpTransport) roundTrip(frame []byte) (uint32, int64, error) {
+	resp, err := t.client.Post(t.url, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	h, err := runio.ReadFrameHeader(resp.Body, 0)
+	if err != nil {
+		// Not a frame body: a JSON error from a non-binary-aware route.
+		return 0, 0, fmt.Errorf("opaqclient: %s: http %d (no frame body)", t.url, resp.StatusCode)
+	}
+	t.payload, err = runio.ReadFramePayload(resp.Body, h, t.payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	acked, n, err := decodeResponse(h, t.payload)
+	if err != nil || acked > 0 || h.Type != runio.FrameAck {
+		return acked, n, err
+	}
+	// The body is ack-then-maybe-nack; a zero ack with a trailing nack
+	// carries the real story (backpressure or a protocol rejection).
+	if h2, err2 := runio.ReadFrameHeader(resp.Body, 0); err2 == nil {
+		t.payload, err2 = runio.ReadFramePayload(resp.Body, h2, t.payload)
+		if err2 == nil {
+			if _, _, nerr := decodeResponse(h2, t.payload); nerr != nil {
+				return acked, n, nerr
+			}
+		}
+	}
+	return acked, n, nil
+}
+
+func (t *httpTransport) close() error { return nil }
+
+// decodeResponse turns a server response frame into the transport result:
+// acks yield counts, nacks yield *Backpressure (retry hint present) or a
+// plain protocol error.
+func decodeResponse(h runio.FrameHeader, payload []byte) (uint32, int64, error) {
+	switch h.Type {
+	case runio.FrameAck:
+		count, n, err := runio.DecodeAckPayload(payload)
+		return count, n, err
+	case runio.FrameNack:
+		retry, msg, err := runio.DecodeNackPayload(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		if retry > 0 {
+			return 0, 0, &Backpressure{RetryAfter: time.Duration(retry) * time.Second, Msg: msg}
+		}
+		return 0, 0, fmt.Errorf("opaqclient: server rejected batch: %s", msg)
+	default:
+		return 0, 0, fmt.Errorf("opaqclient: unexpected frame type %d in response", h.Type)
+	}
+}
