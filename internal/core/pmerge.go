@@ -1,0 +1,59 @@
+package core
+
+import (
+	"cmp"
+	"sync"
+)
+
+// parallelMergeFloor is the fan-in below which MergeAllParallel degrades
+// to the sequential k-way merge: splitting a handful of lists across
+// goroutines costs more in scheduling than the heap saves.
+const parallelMergeFloor = 8
+
+// MergeAllParallel is MergeAll fanned out across workers: the input is
+// split into contiguous chunks, each chunk is k-way merged concurrently,
+// and the chunk partials are merged into the final summary — a two-level
+// merge tree whose leaves run in parallel. The result is identical to
+// MergeAll over the same slice (the sample multiset, counts and extrema
+// are order-independent, and equal samples are indistinguishable values),
+// so callers may use whichever fits their core budget; the serving
+// engine uses it to rebuild the frozen-prefix summary of a deep epoch
+// ring cold, where the fan-in is the whole retained window.
+//
+// Chunk partials are drawn from and returned to the merge-buffer pool;
+// only the final summary's buffer escapes. workers ≤ 1 (or a fan-in too
+// small to split) is exactly MergeAll.
+func MergeAllParallel[T cmp.Ordered](sums []*Summary[T], workers int) (*Summary[T], error) {
+	if workers > len(sums)/2 {
+		workers = len(sums) / 2
+	}
+	if workers <= 1 || len(sums) < parallelMergeFloor {
+		return MergeAll(sums)
+	}
+	partials := make([]*Summary[T], workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous even split; every chunk is non-empty because
+		// workers ≤ len(sums)/2.
+		lo, hi := w*len(sums)/workers, (w+1)*len(sums)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w], errs[w] = MergeAll(sums[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := MergeAll(partials)
+	// The partials are exclusively ours (MergeAll never aliases its
+	// inputs), so their buffers go back to the pool for the next pass.
+	for _, p := range partials {
+		RecycleSummary(p)
+	}
+	return out, err
+}

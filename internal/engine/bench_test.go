@@ -140,6 +140,143 @@ func BenchmarkEngineCompactedServe(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSnapshotUnderIngest is the two-level snapshot
+// maintenance scenario: a keep-all, uncompacted engine is pre-loaded with
+// 1000 sealed epochs, then each iteration ingests one element (bumping
+// the version) and immediately queries, forcing a snapshot rebuild per
+// cycle. The full-remerge baseline (DisableFrozenPrefix) k-way-merges the
+// 1001-entry merge set every time — O(retained window); the two-level
+// path folds the stripe tail into the cached frozen prefix — O(unsealed
+// tail). The ratio of the two throughputs is the headline speedup the
+// snapshot benchtab experiment persists.
+func BenchmarkEngineSnapshotUnderIngest(b *testing.B) {
+	const (
+		runLen = 256
+		epochs = 1000
+	)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"full-remerge", true}, {"two-level", false}} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			e, err := New[int64](Options{
+				Config:              core.Config{RunLen: runLen, SampleSize: 32},
+				Stripes:             1,
+				DisableFrozenPrefix: mode.full,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			batch := make([]int64, runLen)
+			for ep := 0; ep < epochs; ep++ {
+				for i := range batch {
+					batch[i] = rng.Int63n(1 << 48)
+				}
+				if err := e.IngestBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				if sealed, err := e.Rotate(); err != nil || !sealed {
+					b.Fatalf("epoch %d: sealed=%v err=%v", ep, sealed, err)
+				}
+			}
+			// One warm-up cycle performs the cold prefix merge (two-level)
+			// and warms the buffer pools, so the loop measures the steady
+			// state in both modes.
+			if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Quantile(0.5); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Quantile(0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := e.Stats()
+			if mode.full && (st.PrefixHits != 0 || st.PrefixRebuilds != 0) {
+				b.Fatalf("baseline engine touched the prefix cache: %+v", st)
+			}
+			if !mode.full && st.PrefixHits == 0 {
+				b.Fatalf("two-level engine never hit the prefix cache: %+v", st)
+			}
+		})
+	}
+}
+
+// TestTwoLevelServeAllocs extends the pooled-rebuild assertion to the
+// two-level snapshot path: on a deep UNcompacted ring, the steady-state
+// ingest+query loop must stay within the same allocation budget as the
+// compacted loop (the tail fold reuses pooled merge buffers and the
+// cached frozen prefix), and — the regression this test exists to catch —
+// the frozen prefix must NOT be silently re-merged per query: every
+// rebuild in the loop is a prefix HIT, and the rebuild counter stays
+// flat.
+func TestTwoLevelServeAllocs(t *testing.T) {
+	const runLen = 256
+	e, err := New[int64](Options{
+		Config:  core.Config{RunLen: runLen, SampleSize: 32},
+		Stripes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	batch := make([]int64, runLen)
+	for ep := 0; ep < 256; ep++ {
+		for i := range batch {
+			batch[i] = rng.Int63n(1 << 48)
+		}
+		if err := e.IngestBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if sealed, err := e.Rotate(); err != nil || !sealed {
+			t.Fatalf("epoch %d: sealed=%v err=%v", ep, sealed, err)
+		}
+	}
+	// Warm the pools and the prefix cache: the first rebuild after the
+	// last rotation performs the one expected cold prefix merge.
+	for i := 0; i < 8; i++ {
+		if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Quantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Stats()
+	const runs = 50
+	allocs := testing.AllocsPerRun(runs, func() {
+		if err := e.Ingest(rng.Int63n(1 << 48)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Quantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 64 {
+		t.Fatalf("two-level serve loop: %.1f allocs/op, want ≤ 64 (tail merge no longer pooled, or prefix re-merged per query?)", allocs)
+	}
+	after := e.Stats()
+	if after.PrefixRebuilds != before.PrefixRebuilds {
+		t.Fatalf("frozen prefix re-merged %d times during steady-state ingest (no ring change happened); every rebuild must be a cache hit",
+			after.PrefixRebuilds-before.PrefixRebuilds)
+	}
+	if hits := after.PrefixHits - before.PrefixHits; hits < runs {
+		t.Fatalf("prefix hits grew by %d over %d rebuilding queries", hits, runs)
+	}
+	if full := after.Merges - after.PrefixHits - after.PrefixRebuilds; full != 0 {
+		t.Fatalf("%d full-remerge rebuilds on a two-level engine", full)
+	}
+}
+
 // TestCompactedServeAllocs pins the allocation count of the compacted
 // serving loop — one ingest plus one snapshot-rebuilding query — so a
 // regression that re-introduces per-merge buffer allocations (the pooled

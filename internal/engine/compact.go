@@ -174,7 +174,13 @@ func (e *Engine[T]) compactPass(force bool) (bool, error) {
 		// risk — the published ring was untouched).
 		return false, nil
 	}
-	e.ring.Store(&compacted)
+	// Publishing the compacted ring refreshes the age deadline (a
+	// compacted head's SealedAt is its newest covered seal — eviction
+	// never fires early) and, by swapping the slice identity, invalidates
+	// the frozen-prefix cache; the next rebuild re-merges the (now
+	// logarithmic) ring once. The cached SNAPSHOT stays valid: answers
+	// are unchanged, so no version bump and no rebuild is provoked.
+	e.publishRingLocked(&compacted)
 	e.compactedEpochs.Add(folded)
 	e.compactions.Add(1)
 	return true, nil

@@ -253,6 +253,256 @@ func TestCompactionEquivalenceRandomSchedules(t *testing.T) {
 	}
 }
 
+// prefixEquivOptions configures one engine of a prefix-cache equivalence
+// pair: the engines differ ONLY in DisableFrozenPrefix. Automatic
+// compaction stays off on both so the rings evolve through the
+// deterministic schedule alone (the rebuild-path compaction pass is
+// querier-timing-dependent and would let last-K eviction granularity
+// diverge between the pair); explicit Compact ops in the schedule hit
+// both engines identically. Last-K retention makes eviction — one of the
+// prefix invalidation events under test — actually fire.
+func prefixEquivOptions(shadow bool) Options {
+	return Options{
+		Config:              core.Config{RunLen: 64, SampleSize: 8, Seed: 9},
+		Stripes:             2,
+		Buckets:             8,
+		Retention:           Retention{Kind: RetainLastK, K: 6},
+		DisableFrozenPrefix: shadow,
+	}
+}
+
+// TestPrefixCacheEquivalenceRandomSchedules is the two-level snapshot
+// harness: a frozen-prefix engine and a full-remerge shadow
+// (DisableFrozenPrefix) run identical randomized schedules covering every
+// prefix invalidation event — rotation (with last-K eviction), explicit
+// compaction swaps, restore-absorb into a live engine, and full
+// checkpoint→replace — interleaved with queries, while background
+// queriers race the cache under -race. Checkpoints must stay
+// byte-identical and answers float-identical at every quiesce point: the
+// cached prefix fold and the single k-way remerge are the same merge over
+// a different tree shape.
+func TestPrefixCacheEquivalenceRandomSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			var pair equivPair
+			cached, err := New[int64](prefixEquivOptions(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shad, err := New[int64](prefixEquivOptions(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair.comp.Store(cached)
+			pair.shad.Store(shad)
+			stopC := spawnQueriers(&pair.comp, 2, seed*200+1)
+			stopS := spawnQueriers(&pair.shad, 2, seed*200+50)
+			defer stopC()
+			defer stopS()
+
+			rng := rand.New(rand.NewSource(seed * 31))
+			// A replace op swaps in fresh engines with zeroed counters, so
+			// cache usage is accumulated across every engine generation.
+			var hits, rebuilds, shadowTouches int64
+			for op := 0; op < 150; op++ {
+				cached, shad := pair.comp.Load(), pair.shad.Load()
+				switch k := rng.Intn(12); {
+				case k < 6: // ingest one batch, usually ragged
+					size := 1 + rng.Intn(96)
+					if rng.Intn(3) == 0 {
+						size = 64 // run-aligned
+					}
+					batch := make([]int64, size)
+					for i := range batch {
+						batch[i] = rng.Int63n(1 << 40)
+					}
+					if err := cached.IngestBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := shad.IngestBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				case k < 8: // rotate both (seal + last-K eviction)
+					if _, err := cached.Rotate(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := shad.Rotate(); err != nil {
+						t.Fatal(err)
+					}
+				case k == 8: // compaction swap on both — same deterministic plan
+					if _, err := cached.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := shad.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				case k == 9: // restore-absorb INTO the live engines (prefix
+					// invalidation without replacing the engine)
+					ckC, ckS := checkpointBytes(t, cached), checkpointBytes(t, shad)
+					if !bytes.Equal(ckC, ckS) {
+						t.Fatal("checkpoint bytes diverged at absorb op")
+					}
+					if err := cached.Restore(bytes.NewReader(ckC), runio.Int64Codec{}); err != nil {
+						t.Fatal(err)
+					}
+					if err := shad.Restore(bytes.NewReader(ckS), runio.Int64Codec{}); err != nil {
+						t.Fatal(err)
+					}
+				case k == 10: // checkpoint → replace with fresh engines
+					ckC, ckS := checkpointBytes(t, cached), checkpointBytes(t, shad)
+					if !bytes.Equal(ckC, ckS) {
+						t.Fatal("checkpoint bytes diverged at replace op")
+					}
+					newC, err := New[int64](prefixEquivOptions(false))
+					if err != nil {
+						t.Fatal(err)
+					}
+					newS, err := New[int64](prefixEquivOptions(true))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := newC.Restore(bytes.NewReader(ckC), runio.Int64Codec{}); err != nil {
+						t.Fatal(err)
+					}
+					if err := newS.Restore(bytes.NewReader(ckS), runio.Int64Codec{}); err != nil {
+						t.Fatal(err)
+					}
+					st := cached.Stats()
+					hits += st.PrefixHits
+					rebuilds += st.PrefixRebuilds
+					sst := shad.Stats()
+					shadowTouches += sst.PrefixHits + sst.PrefixRebuilds
+					pair.comp.Store(newC)
+					pair.shad.Store(newS)
+				default: // quiesce point
+					compareEngines(t, cached, shad, rng)
+				}
+			}
+			compareEngines(t, pair.comp.Load(), pair.shad.Load(), rng)
+			// The harness must actually exercise both levels of the cache,
+			// and the shadow must never touch it.
+			st := pair.comp.Load().Stats()
+			hits += st.PrefixHits
+			rebuilds += st.PrefixRebuilds
+			sst := pair.shad.Load().Stats()
+			shadowTouches += sst.PrefixHits + sst.PrefixRebuilds
+			if hits == 0 || rebuilds == 0 {
+				t.Errorf("prefix cache not exercised: %d hits, %d rebuilds", hits, rebuilds)
+			}
+			if shadowTouches != 0 {
+				t.Errorf("shadow engines touched the prefix cache %d times", shadowTouches)
+			}
+		})
+	}
+}
+
+// TestTwoLevelTailMergeCounters is the counter-based regression guard on
+// the two-level rebuild path, in the style of the snapshot-cache test: a
+// version-missed query after any number of plain ingests performs exactly
+// one rebuild that HITS the cached prefix (one tail merge, no prefix
+// re-merge); a version-matched query performs none; and only genuine ring
+// changes — rotation, compaction swap — provoke a cold prefix rebuild.
+func TestTwoLevelTailMergeCounters(t *testing.T) {
+	e, err := New[int64](Options{
+		Config:  core.Config{RunLen: 64, SampleSize: 8},
+		Stripes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]int64, 64)
+	for ep := 0; ep < 8; ep++ {
+		for i := range batch {
+			batch[i] = rng.Int63n(1 << 40)
+		}
+		if err := e.IngestBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if sealed, err := e.Rotate(); err != nil || !sealed {
+			t.Fatalf("epoch %d: sealed=%v err=%v", ep, sealed, err)
+		}
+	}
+	if _, err := e.Quantile(0.5); err != nil { // cold: ring changed since construction
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PrefixRebuilds != 1 {
+		t.Fatalf("first query after seals: %d prefix rebuilds, want 1", st.PrefixRebuilds)
+	}
+
+	// N plain ingests, then one query: exactly one rebuild, and it must
+	// reuse the frozen prefix (tail-only merge).
+	for i := 0; i < 25; i++ {
+		if err := e.Ingest(rng.Int63n(1 << 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	now := e.Stats()
+	if got, want := now.Merges, st.Merges+1; got != want {
+		t.Fatalf("query after 25 ingests: %d merges, want %d (single-flight, one rebuild)", got, want)
+	}
+	if got, want := now.PrefixHits, st.PrefixHits+1; got != want {
+		t.Fatalf("query after 25 ingests: %d prefix hits, want %d", got, want)
+	}
+	if now.PrefixRebuilds != st.PrefixRebuilds {
+		t.Fatalf("plain ingest provoked a cold prefix rebuild (%d → %d)", st.PrefixRebuilds, now.PrefixRebuilds)
+	}
+
+	// Version-matched queries touch nothing.
+	st = now
+	for i := 0; i < 50; i++ {
+		if _, err := e.Quantile(0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now = e.Stats(); now.Merges != st.Merges || now.PrefixHits != st.PrefixHits {
+		t.Fatalf("version-matched queries rebuilt: merges %d→%d, hits %d→%d", st.Merges, now.Merges, st.PrefixHits, now.PrefixHits)
+	}
+
+	// A rotation publishes a new ring: the next rebuild re-merges the
+	// prefix cold, exactly once.
+	if err := e.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if sealed, err := e.Rotate(); err != nil || !sealed {
+		t.Fatalf("sealed=%v err=%v", sealed, err)
+	}
+	if _, err := e.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if now = e.Stats(); now.PrefixRebuilds != st.PrefixRebuilds+1 {
+		t.Fatalf("query after rotation: %d prefix rebuilds, want %d", now.PrefixRebuilds, st.PrefixRebuilds+1)
+	}
+
+	// A compaction swap does NOT bump the version — the cached snapshot
+	// stays valid and no rebuild happens — but it does invalidate the
+	// prefix, so the next version-missed query re-merges it cold.
+	st = e.Stats()
+	if changed, err := e.Compact(); err != nil || !changed {
+		t.Fatalf("compact: changed=%v err=%v", changed, err)
+	}
+	if _, err := e.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if now = e.Stats(); now.Merges != st.Merges {
+		t.Fatalf("compaction swap provoked a rebuild: merges %d→%d (cached snapshot should have served)", st.Merges, now.Merges)
+	}
+	if err := e.Ingest(rng.Int63n(1 << 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if now = e.Stats(); now.PrefixRebuilds != st.PrefixRebuilds+1 {
+		t.Fatalf("query after compaction swap: %d prefix rebuilds, want %d", now.PrefixRebuilds, st.PrefixRebuilds+1)
+	}
+}
+
 // TestCompactionRingDepthLogBound is the acceptance criterion in
 // isolation: a keep-all engine under continuous rotation — one seal per
 // run-aligned batch, 1200 seals — holds its ring at ≤ log₂(#seals)+1

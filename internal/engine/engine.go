@@ -26,11 +26,19 @@
 // Reads are served from an immutable merged Snapshot that is cached per
 // ingest version: a query first checks the cached snapshot, and only when
 // ingestion (or eviction) has advanced does one merger reassemble the
-// merge set — retained epochs plus live stripes — via core.MergeAll
-// (single-flight: a burst of queries behind a stale cache performs
-// exactly one merge; the rest block briefly and reuse it). Because
-// summaries are immutable, queries against a snapshot never block
-// ingestion.
+// merge set (single-flight: a burst of queries behind a stale cache
+// performs exactly one merge; the rest block briefly and reuse it).
+// Snapshot maintenance itself is two-level. The merged summary of the
+// sealed epoch ring — the frozen prefix — is cached against the ring's
+// copy-on-write slice identity, so it is invalidated only by the events
+// that actually change the ring (rotation, compaction swap, eviction,
+// restore, bulk load), never by plain ingest. A version-missed query
+// therefore merges only the live stripes' partial summaries and folds
+// them into the cached prefix: steady-state rebuild cost is O(unsealed
+// tail), not O(retained window). When the prefix itself must be rebuilt
+// cold, the k-way merge over the ring fans out across Config.Workers
+// (core.MergeAllParallel). Because summaries are immutable, queries
+// against a snapshot never block ingestion.
 //
 // Bulk history enters through BulkLoad (a sharded build over run-file
 // datasets) or Restore (a checkpoint written by Checkpoint); each lands as
@@ -96,6 +104,13 @@ type Options struct {
 	// happens at call entry, so one admitted batch may overshoot the
 	// bound; it is a high-water mark, not a hard ceiling.
 	MaxPending int64
+	// DisableFrozenPrefix turns off the frozen-prefix merge cache: every
+	// snapshot rebuild re-merges the whole merge set (ring + stripes) in
+	// one k-way pass, the pre-two-level behavior. Answers are identical
+	// either way; this is the measurement baseline for the
+	// snapshot-under-ingest benchmarks and the shadow configuration of
+	// the prefix-cache equivalence harness.
+	DisableFrozenPrefix bool
 }
 
 // Snapshot is an immutable, internally consistent view of everything the
@@ -145,8 +160,16 @@ type Stats struct {
 	// folded away). Epochs is the resulting ring depth.
 	Compactions     int64
 	CompactedEpochs int64
-	// Merges is the number of snapshot rebuilds performed.
-	Merges int64
+	// Merges is the number of snapshot rebuilds performed. PrefixHits
+	// counts the rebuilds that reused the cached frozen-prefix summary
+	// (tail-only merges — the steady state under sustained ingest);
+	// PrefixRebuilds counts cold frozen-prefix merges, provoked only by
+	// ring changes (rotation, compaction swap, eviction, restore, bulk
+	// load). Merges − PrefixHits − PrefixRebuilds is the count of
+	// full-remerge rebuilds (DisableFrozenPrefix engines only).
+	Merges         int64
+	PrefixHits     int64
+	PrefixRebuilds int64
 	// Queries is the number of snapshot-backed queries served.
 	Queries int64
 	// SnapshotN, SnapshotSamples and SnapshotErrorBound describe the
@@ -159,14 +182,15 @@ type Stats struct {
 // Engine is a concurrent, long-lived quantile service over elements of
 // type T. All methods are safe for concurrent use.
 type Engine[T cmp.Ordered] struct {
-	cfg        core.Config
-	buckets    int
-	policy     EpochPolicy
-	retain     Retention
-	compaction CompactionPolicy
-	maxPending int64
-	elemSize   int64
-	stripes    []*stripe[T]
+	cfg           core.Config
+	buckets       int
+	policy        EpochPolicy
+	retain        Retention
+	compaction    CompactionPolicy
+	maxPending    int64
+	elemSize      int64
+	disablePrefix bool
+	stripes       []*stripe[T]
 
 	next    atomic.Uint64 // round-robin ingest cursor
 	version atomic.Uint64 // bumped after every absorb or eviction
@@ -183,11 +207,24 @@ type Engine[T cmp.Ordered] struct {
 	compactedEpochs atomic.Int64
 	sealRate        sealRate
 
+	// oldestDeadline caches ring[0].SealedAt + MaxAge as Unix
+	// nanoseconds (noDeadline when empty or retention is not age-based),
+	// refreshed at every ring publication, so the cached-snapshot fast
+	// path checks window expiry with one atomic load instead of loading
+	// the ring and calling time.Since per query.
+	oldestDeadline atomic.Int64
+
 	mergeMu sync.Mutex // single-flight guard for snapshot rebuilds
 	snap    atomic.Pointer[Snapshot[T]]
+	// prefix is the frozen-prefix level of the two-level snapshot cache:
+	// the merged summary of the sealed ring, keyed on the ring slice's
+	// copy-on-write identity. Written and read only under mergeMu.
+	prefix *prefixCache[T]
 
-	merges  atomic.Int64
-	queries atomic.Int64
+	merges         atomic.Int64
+	queries        atomic.Int64
+	prefixHits     atomic.Int64
+	prefixRebuilds atomic.Int64
 
 	tickStop  chan struct{}
 	closeOnce sync.Once
@@ -197,6 +234,21 @@ type stripe[T cmp.Ordered] struct {
 	mu sync.Mutex
 	sb *core.StreamBuilder[T]
 }
+
+// prefixCache pairs a merged frozen-prefix summary with the exact ring
+// slice it covers. Every ring mutation publishes a fresh slice
+// (copy-on-write), so pointer identity is a sound and allocation-free
+// invalidation key: a matching pointer proves the cached merge still
+// describes the sealed prefix, whatever concurrent ingest has done to
+// the live tail.
+type prefixCache[T cmp.Ordered] struct {
+	ring *[]*Epoch[T]
+	sum  *core.Summary[T]
+}
+
+// noDeadline is the oldestDeadline sentinel meaning "nothing can
+// expire": retention is not age-based, or the ring is empty.
+const noDeadline = int64(1<<63 - 1)
 
 // New returns an engine with freshly initialized stripes. Engines with an
 // EpochPolicy.Interval own a rotation timer and must be Closed.
@@ -259,14 +311,15 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 		return nil, fmt.Errorf("%w: Buckets must be non-negative, got %d", core.ErrConfig, opts.Buckets)
 	}
 	e := &Engine[T]{
-		cfg:        opts.Config,
-		buckets:    buckets,
-		policy:     opts.Epoch,
-		retain:     opts.Retention,
-		compaction: opts.Compaction,
-		maxPending: opts.MaxPending,
-		elemSize:   int64(runio.ElemSize[T]()),
-		stripes:    make([]*stripe[T], p),
+		cfg:           opts.Config,
+		buckets:       buckets,
+		policy:        opts.Epoch,
+		retain:        opts.Retention,
+		compaction:    opts.Compaction,
+		maxPending:    opts.MaxPending,
+		elemSize:      int64(runio.ElemSize[T]()),
+		disablePrefix: opts.DisableFrozenPrefix,
+		stripes:       make([]*stripe[T], p),
 	}
 	for i := range e.stripes {
 		sb, err := core.NewStreamBuilder[T](opts.Config)
@@ -276,7 +329,7 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 		e.stripes[i] = &stripe[T]{sb: sb}
 	}
 	empty := make([]*Epoch[T], 0)
-	e.ring.Store(&empty)
+	e.publishRingLocked(&empty)
 	if opts.Epoch.Interval > 0 {
 		e.tickStop = make(chan struct{})
 		go e.rotationTimer(opts.Epoch.Interval)
@@ -411,13 +464,28 @@ func (e *Engine[T]) Snapshot() (*Snapshot[T], error) {
 
 // oldestExpired reports whether a sliding wall-clock window has an epoch
 // due for eviction — the one case where a version-matched cached snapshot
-// is still stale, because time alone advanced the retention boundary.
+// is still stale, because time alone advanced the retention boundary. The
+// deadline is cached at every ring publication (publishRingLocked), so
+// this hot-path check is one atomic load and a comparison — no ring
+// load, no time.Since — and engines without age-based retention pay a
+// single always-false compare against noDeadline.
 func (e *Engine[T]) oldestExpired() bool {
-	if e.retain.Kind != RetainMaxAge {
-		return false
+	dl := e.oldestDeadline.Load()
+	return dl != noDeadline && time.Now().UnixNano() > dl
+}
+
+// publishRingLocked stores a new retained ring and refreshes the cached
+// oldest-epoch deadline oldestExpired reads. Every ring mutation must
+// publish through it (holding epochMu; construction is exempt), both to
+// keep the deadline honest and because the fresh slice pointer is what
+// invalidates the frozen-prefix cache.
+func (e *Engine[T]) publishRingLocked(ring *[]*Epoch[T]) {
+	e.ring.Store(ring)
+	dl := noDeadline
+	if e.retain.Kind == RetainMaxAge && len(*ring) > 0 {
+		dl = (*ring)[0].SealedAt.Add(e.retain.MaxAge).UnixNano()
 	}
-	ring := *e.ring.Load()
-	return len(ring) > 0 && time.Since(ring[0].SealedAt) > e.retain.MaxAge
+	e.oldestDeadline.Store(dl)
 }
 
 // rebuildLocked cuts a fresh snapshot by reassembling the merge set. The
@@ -427,6 +495,15 @@ func (e *Engine[T]) oldestExpired() bool {
 // held while the ring and stripes are read so a concurrent rotation cannot
 // move elements between them mid-read (which would double-count or drop a
 // stripe).
+//
+// The reassembly is two-level: the sealed ring's merge — the frozen
+// prefix — is served from a cache keyed on the ring slice's identity, so
+// in the steady state (ingest advancing the version with no rotation in
+// between) only the stripes' partial summaries are merged and folded
+// into the cached prefix, O(unsealed tail) instead of O(retained
+// window). A ring change (rotation, compaction swap, eviction, restore,
+// bulk load) publishes a new slice, missing the cache and triggering one
+// cold prefix merge fanned out across Config.Workers.
 func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 	e.epochMu.Lock()
 	// A sliding window must age out even when nothing rotates or ingests:
@@ -435,12 +512,9 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 		e.version.Add(1)
 		version = e.version.Load()
 	}
-	ring := *e.ring.Load()
-	sums := make([]*core.Summary[T], 0, len(ring)+len(e.stripes))
-	for _, ep := range ring {
-		sums = append(sums, ep.Summary)
-	}
-	stripeStart := len(sums)
+	ringPtr := e.ring.Load()
+	ring := *ringPtr
+	tails := make([]*core.Summary[T], 0, len(e.stripes))
 	for _, st := range e.stripes {
 		st.mu.Lock()
 		sum, err := st.sb.Summary()
@@ -449,22 +523,15 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 			e.epochMu.Unlock()
 			return nil, err
 		}
-		sums = append(sums, sum)
+		tails = append(tails, sum)
 	}
 	e.epochMu.Unlock()
 
-	// The merge set is immutable from here on; the k-way merge runs
-	// without any engine lock but mergeMu.
-	acc, err := core.MergeAll(sums)
+	// The merge set is immutable from here on; the merges run without any
+	// engine lock but mergeMu.
+	acc, err := e.assemble(ringPtr, ring, tails)
 	if err != nil {
 		return nil, err
-	}
-	// The stripe summaries were cut fresh above and MergeAll's result never
-	// aliases its inputs, so this rebuild is their only reader: recycle
-	// their sample buffers for the next rebuild. Ring epochs are shared
-	// with concurrent readers and stay untouched.
-	for _, sum := range sums[stripeStart:] {
-		core.RecycleSummary(sum)
 	}
 	snap := &Snapshot[T]{Summary: acc, Version: version}
 	if acc.N() > 0 {
@@ -477,6 +544,97 @@ func (e *Engine[T]) rebuildLocked(version uint64) (*Snapshot[T], error) {
 	e.snap.Store(snap)
 	e.merges.Add(1)
 	return snap, nil
+}
+
+// assemble merges one consistent merge set (ring + freshly cut stripe
+// tails) into a snapshot summary. With the frozen-prefix cache enabled
+// (the default) it is the two-level path: prefix lookup or cold rebuild,
+// then a tail merge folded in with one pairwise pass. The merge tree's
+// shape never changes the result — the sample multiset, counts and
+// extrema are order-independent — so the summary (and any checkpoint cut
+// from it) is byte-identical to the single k-way full remerge the
+// DisableFrozenPrefix path performs. Caller holds mergeMu.
+func (e *Engine[T]) assemble(ringPtr *[]*Epoch[T], ring []*Epoch[T], tails []*core.Summary[T]) (*core.Summary[T], error) {
+	if e.disablePrefix {
+		sums := make([]*core.Summary[T], 0, len(ring)+len(tails))
+		for _, ep := range ring {
+			sums = append(sums, ep.Summary)
+		}
+		sums = append(sums, tails...)
+		acc, err := core.MergeAll(sums)
+		if err != nil {
+			return nil, err
+		}
+		recycleAll(tails)
+		return acc, nil
+	}
+	prefix, err := e.frozenPrefix(ringPtr, ring)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := core.MergeAll(tails)
+	if err != nil {
+		return nil, err
+	}
+	// The stripe summaries were cut fresh for this rebuild and MergeAll's
+	// result never aliases its inputs, so this rebuild is their only
+	// reader: their buffers go back to the merge pool. Ring epochs and
+	// the cached prefix are shared with concurrent readers and stay
+	// untouched.
+	recycleAll(tails)
+	acc, err := core.Merge(prefix, tail)
+	if err != nil {
+		return nil, err
+	}
+	// Merge fast-paths an empty side by returning the other argument
+	// unchanged: recycle the merged tail only when the fold really copied
+	// it, and never the cached prefix (later rebuilds keep folding
+	// against it).
+	if acc != tail && acc != prefix {
+		core.RecycleSummary(tail)
+	}
+	return acc, nil
+}
+
+// frozenPrefix returns the merged summary of the sealed ring, from the
+// cache when the ring is the one the cache was built against, otherwise
+// by one cold merge fanned out across Config.Workers. Caller holds
+// mergeMu (the cache field is single-flight state, like the snapshot it
+// feeds).
+func (e *Engine[T]) frozenPrefix(ringPtr *[]*Epoch[T], ring []*Epoch[T]) (*core.Summary[T], error) {
+	if c := e.prefix; c != nil && c.ring == ringPtr {
+		e.prefixHits.Add(1)
+		return c.sum, nil
+	}
+	var (
+		sum *core.Summary[T]
+		err error
+	)
+	if len(ring) == 0 {
+		// NewSummary with N == 0 is the canonical empty summary: folding
+		// it in is a no-op, and nothing merges until an epoch seals.
+		sum, err = core.NewSummary(core.SummaryParts[T]{Step: int64(e.cfg.Step())})
+	} else {
+		sums := make([]*core.Summary[T], len(ring))
+		for i, ep := range ring {
+			sums[i] = ep.Summary
+		}
+		sum, err = core.MergeAllParallel(sums, e.cfg.EffectiveWorkers())
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.prefix = &prefixCache[T]{ring: ringPtr, sum: sum}
+	e.prefixRebuilds.Add(1)
+	return sum, nil
+}
+
+// recycleAll returns exclusively owned summaries' buffers to the merge
+// pool.
+func recycleAll[T cmp.Ordered](sums []*core.Summary[T]) {
+	for _, s := range sums {
+		core.RecycleSummary(s)
+	}
 }
 
 // Quantile returns the deterministic enclosure of the φ-quantile over the
@@ -579,6 +737,8 @@ func (e *Engine[T]) Stats() Stats {
 		PendingElems:    e.pending.Load(),
 		PendingBytes:    e.pending.Load() * e.elemSize,
 		Merges:          e.merges.Load(),
+		PrefixHits:      e.prefixHits.Load(),
+		PrefixRebuilds:  e.prefixRebuilds.Load(),
 		Queries:         e.queries.Load(),
 	}
 	st.RetainedN = st.N - st.EvictedN - expiredN

@@ -219,7 +219,7 @@ func (e *Engine[T]) appendEpochLocked(ep *Epoch[T]) {
 	ring := make([]*Epoch[T], len(old), len(old)+1)
 	copy(ring, old)
 	ring = append(ring, ep)
-	e.ring.Store(&ring)
+	e.publishRingLocked(&ring)
 	e.sealedEpochs.Add(1)
 }
 
@@ -255,7 +255,7 @@ func (e *Engine[T]) applyRetentionLocked(now time.Time) bool {
 		e.evictedEpochs.Add(ep.Seals)
 	}
 	rest := append([]*Epoch[T](nil), ring[cut:]...)
-	e.ring.Store(&rest)
+	e.publishRingLocked(&rest)
 	return true
 }
 

@@ -502,6 +502,92 @@ func TestEngineRetainMaxAge(t *testing.T) {
 	}
 }
 
+// TestOldestDeadlineHoist pins the cached oldest-epoch deadline behind
+// oldestExpired: the hot read path checks window expiry with one atomic
+// load, so every ring publication must keep the cache honest — set on
+// seal, extended by a compaction swap (whose head's SealedAt is its
+// newest covered seal), cleared when the ring empties, and permanently
+// at the noDeadline sentinel for engines without age-based retention.
+func TestOldestDeadlineHoist(t *testing.T) {
+	const maxAge = 40 * time.Millisecond
+	e, err := New[int64](Options{
+		Config:    core.Config{RunLen: 64, SampleSize: 8},
+		Stripes:   1,
+		Retention: Retention{Kind: RetainMaxAge, MaxAge: maxAge},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := e.oldestDeadline.Load(); dl != noDeadline {
+		t.Fatalf("empty ring: deadline %d, want noDeadline sentinel", dl)
+	}
+	if e.oldestExpired() {
+		t.Fatal("empty engine reports an expired window")
+	}
+	if err := e.IngestBatch(make([]int64, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if sealed, err := e.Rotate(); err != nil || !sealed {
+		t.Fatalf("rotate: sealed=%v err=%v", sealed, err)
+	}
+	ring := *e.ring.Load()
+	if want := ring[0].SealedAt.Add(maxAge).UnixNano(); e.oldestDeadline.Load() != want {
+		t.Fatalf("post-seal deadline %d, want oldest SealedAt+MaxAge %d", e.oldestDeadline.Load(), want)
+	}
+	if e.oldestExpired() {
+		t.Fatal("freshly sealed epoch reports as expired")
+	}
+	// A compaction swap must republish the deadline from the compacted
+	// head (newest covered seal — eviction never fires early).
+	if err := e.IngestBatch(make([]int64, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if sealed, err := e.Rotate(); err != nil || !sealed {
+		t.Fatalf("second rotate: sealed=%v err=%v", sealed, err)
+	}
+	if changed, err := e.Compact(); err != nil || !changed {
+		t.Fatalf("compact: changed=%v err=%v", changed, err)
+	}
+	ring = *e.ring.Load()
+	if len(ring) != 1 {
+		t.Fatalf("compacted ring depth %d, want 1", len(ring))
+	}
+	if want := ring[0].SealedAt.Add(maxAge).UnixNano(); e.oldestDeadline.Load() != want {
+		t.Fatalf("post-compaction deadline %d, want compacted head SealedAt+MaxAge %d", e.oldestDeadline.Load(), want)
+	}
+	time.Sleep(2 * maxAge)
+	if !e.oldestExpired() {
+		t.Fatal("aged-out window not reported by the cached deadline")
+	}
+	// The query path evicts the expired epoch; publishing the emptied
+	// ring must reset the deadline to the sentinel.
+	if _, err := e.Quantile(0.5); !errors.Is(err, core.ErrEmpty) {
+		t.Fatalf("post-expiry Quantile err = %v, want ErrEmpty", err)
+	}
+	if dl := e.oldestDeadline.Load(); dl != noDeadline {
+		t.Fatalf("post-eviction deadline %d, want noDeadline sentinel", dl)
+	}
+	if e.oldestExpired() {
+		t.Fatal("emptied engine still reports an expired window")
+	}
+
+	// Engines without age-based retention never arm the deadline: the
+	// per-query check is one always-false compare.
+	ka, err := New[int64](Options{Config: core.Config{RunLen: 64, SampleSize: 8}, Stripes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ka.IngestBatch(make([]int64, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if sealed, err := ka.Rotate(); err != nil || !sealed {
+		t.Fatalf("keep-all rotate: sealed=%v err=%v", sealed, err)
+	}
+	if dl := ka.oldestDeadline.Load(); dl != noDeadline {
+		t.Fatalf("keep-all engine armed a deadline: %d", dl)
+	}
+}
+
 // TestEngineRotateNoRuns pins Rotate on an engine whose stripes hold only
 // partial runs: nothing seals, nothing is lost.
 func TestEngineRotateNoRuns(t *testing.T) {

@@ -410,6 +410,8 @@ func statsJSON(st Stats) map[string]any {
 		"pending_elems":        st.PendingElems,
 		"pending_bytes":        st.PendingBytes,
 		"merges":               st.Merges,
+		"prefix_hits":          st.PrefixHits,
+		"prefix_rebuilds":      st.PrefixRebuilds,
 		"queries":              st.Queries,
 		"snapshot_n":           st.SnapshotN,
 		"snapshot_samples":     st.SnapshotSamples,

@@ -246,6 +246,46 @@ func TestFigures456Scalability(t *testing.T) {
 	}
 }
 
+// TestSnapshotSweepSpeedup runs the two-level snapshot experiment at test
+// scale and pins the acceptance criterion: at 1000-epoch ring depth the
+// two-level rebuild path must be at least 3× the full-remerge rate (the
+// measured gap is an order of magnitude larger; 3× leaves room for
+// loaded CI machines).
+func TestSnapshotSweepSpeedup(t *testing.T) {
+	tbl, err := SnapshotSweep(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (full remerge + two-level)", len(tbl.Rows))
+	}
+	var speedup float64
+	gated := 0
+	for _, m := range tbl.Metrics {
+		if m.Name == "engine/snapshot_under_ingest/speedup" {
+			speedup = m.Value
+		}
+		if m.Gate {
+			gated++
+		}
+	}
+	if speedup < 3 {
+		t.Errorf("two-level speedup over full remerge = %.2fx, want ≥ 3x", speedup)
+	}
+	if gated != 2 {
+		t.Errorf("gated metrics = %d, want 2 (two_level rate + speedup)", gated)
+	}
+	// The two-level row must prove it actually served from the cache:
+	// prefix hits grew, prefix rebuilds stayed at the single cold merge.
+	two := tbl.Rows[1]
+	if two.Cells[2] == "0" {
+		t.Errorf("two-level row shows zero prefix hits: %v", two.Cells)
+	}
+	if two.Cells[3] != "1" {
+		t.Errorf("two-level row shows %s prefix rebuilds, want exactly 1: %v", two.Cells[3], two.Cells)
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
 	all := All()
 	if len(all) != len(Order) {

@@ -336,26 +336,27 @@ func humanN(n int) string {
 // All returns every experiment keyed by its benchtab name.
 func All() map[string]func(scale int) (*Table, error) {
 	return map[string]func(scale int) (*Table, error){
-		"table3":  Table3,
-		"table4":  Table4,
-		"table5":  Table5,
-		"table6":  Table6,
-		"table7":  Table7,
-		"figure3": Figure3,
-		"table9":  Table9,
-		"table10": Table10,
-		"table11": Table11,
-		"table12": Table12,
-		"figure4": Figure4,
-		"figure5": Figure5,
-		"figure6": Figure6,
-		"overlap": FigureOverlap,
-		"split":   AblationSplit,
-		"workers": WorkerSweep,
-		"sharded": ShardSweep,
-		"engine":  EngineSweep,
-		"compact": CompactionSweep,
-		"ingest":  IngestSweep,
+		"table3":   Table3,
+		"table4":   Table4,
+		"table5":   Table5,
+		"table6":   Table6,
+		"table7":   Table7,
+		"figure3":  Figure3,
+		"table9":   Table9,
+		"table10":  Table10,
+		"table11":  Table11,
+		"table12":  Table12,
+		"figure4":  Figure4,
+		"figure5":  Figure5,
+		"figure6":  Figure6,
+		"overlap":  FigureOverlap,
+		"split":    AblationSplit,
+		"workers":  WorkerSweep,
+		"sharded":  ShardSweep,
+		"engine":   EngineSweep,
+		"compact":  CompactionSweep,
+		"ingest":   IngestSweep,
+		"snapshot": SnapshotSweep,
 	}
 }
 
@@ -363,7 +364,7 @@ func All() map[string]func(scale int) (*Table, error) {
 var Order = []string{
 	"table3", "table4", "table5", "table6", "table7",
 	"figure3", "table9", "table10", "table11", "table12",
-	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "engine", "compact", "ingest",
+	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "engine", "compact", "snapshot", "ingest",
 }
 
 // FigureOverlap is an extension experiment beyond the paper's evaluation:
