@@ -15,6 +15,8 @@
 //	opaq serve     -addr :8080 -m 65536 -s 1024 -load data.run -checkpoint state.sum
 //	opaq serve     -addr :8080 -tenants orders,users -epoch 1000000 -window 24 \
 //	               -checkpoint-dir /var/lib/opaq -max-pending 67108864
+//	opaq worker    -addr :9001 -checkpoint-dir /var/lib/opaq-w1
+//	opaq coord     -addr :8080 -workers http://h1:9001,http://h2:9001 -spread 2
 //
 // Every subcommand performs the minimum number of passes: quantiles,
 // rank and histogram one pass; exact two; sort three. -shards N routes the
@@ -35,6 +37,17 @@
 // manage the set at runtime), each checkpointing to its own file in
 // -checkpoint-dir and restoring warm on boot. -max-body and -max-pending
 // bound resident ingest state (413 / 429 + Retry-After beyond them).
+//
+// worker and coord form the distributed tier. worker is serve under the
+// name the cluster gives it: one engine registry process owning a shard
+// of the tenants, checkpointing locally. coord fronts a fleet of
+// workers with the same HTTP surface — tenants are placed by a
+// consistent-hash ring, ingest routes to the owning workers, queries
+// scatter-gather per-worker summaries and merge them (summaries are
+// mergeable by construction, so the merged answer is byte-identical to
+// a single-process build over the same run-aligned stream). When a
+// worker is down the coordinator answers from the survivors with
+// "partial": true, and /healthz aggregates fleet health.
 package main
 
 import (
@@ -73,6 +86,12 @@ func main() {
 		err = cmdCDF(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		// A worker is serve wearing its cluster hat: an engine registry
+		// with local checkpoints, fronted by a coordinator.
+		err = cmdServe(os.Args[2:])
+	case "coord":
+		err = cmdCoord(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -87,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: opaq <gen|quantiles|exact|rank|histogram|sort|checkpoint|merge|cdf|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: opaq <gen|quantiles|exact|rank|histogram|sort|checkpoint|merge|cdf|serve|worker|coord> [flags]
 run "opaq <subcommand> -h" for flags`)
 }
 

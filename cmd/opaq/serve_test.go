@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -549,6 +550,153 @@ func TestCmdServeMultiTenant(t *testing.T) {
 	}
 	if m := median("orders"); m < 1_000_000 {
 		t.Fatalf("restored orders median %d below its key range", m)
+	}
+	shutdown(done)
+}
+
+// TestCmdServeTenantOptionsPersistence pins the per-tenant Options
+// sidecar through the serve (worker) path: a tenant admin-created with
+// its own run length, stripes and retention must come back from a
+// reboot with exactly that configuration — not the registry defaults —
+// because the distributed tier restarts workers routinely and a worker
+// that silently reconfigured its tenants would stop being byte-
+// equivalent to the fleet it left. Also covers the worker-mode summary
+// RPC (GET /t/{tenant}/summary) and the opaqclient Query reader the
+// coordinator smoke relies on.
+func TestCmdServeTenantOptionsPersistence(t *testing.T) {
+	ckptDir := t.TempDir()
+	serve := func() (string, chan error) {
+		done := make(chan error, 1)
+		addr := freePort(t)
+		go func() {
+			done <- cmdServe([]string{
+				"-addr", addr, "-m", "512", "-s", "64", "-stripes", "2",
+				"-checkpoint-dir", ckptDir,
+			})
+		}()
+		return "http://" + addr, done
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	waitUp := func(base string) {
+		t.Helper()
+		for i := 0; i < 100; i++ {
+			resp, err := client.Get(base + "/healthz")
+			if err == nil {
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatal("server never became healthy")
+	}
+	shutdown := func(done chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("serve did not shut down within 10s of SIGTERM")
+		}
+	}
+	tenantStats := func(base string) (n, stripes float64) {
+		t.Helper()
+		resp, err := client.Get(base + "/t/fast/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st["n"].(float64), st["stripes"].(float64)
+	}
+
+	base, done := serve()
+	waitUp(base)
+
+	// Create "fast" with options diverging from every relevant default.
+	resp, err := client.Post(base+"/admin/tenants", "application/json",
+		strings.NewReader(`{"name":"fast","m":1024,"s":128,"stripes":3,
+			"epoch_max_elems":4096,"retain":"last_k","retain_k":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admin create: status %d", resp.StatusCode)
+	}
+	var keys []string
+	for i := 0; i < 2048; i++ {
+		keys = append(keys, strconv.Itoa(i*3))
+	}
+	resp, err = client.Post(base+"/t/fast/ingest", "application/json",
+		strings.NewReader(`{"keys":[`+strings.Join(keys, ",")+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+
+	// The summary RPC the coordinator scatter-gathers from.
+	resp, err = client.Get(base + "/t/fast/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(sumBytes) == 0 {
+		t.Fatalf("summary: status %d, %d bytes, err %v", resp.StatusCode, len(sumBytes), err)
+	}
+	shutdown(done)
+
+	// The sidecar sits next to the checkpoint for every tenant.
+	for _, name := range []string{"default", "fast"} {
+		if _, err := os.Stat(filepath.Join(ckptDir, name+".opts.json")); err != nil {
+			t.Fatalf("tenant %s options sidecar: %v", name, err)
+		}
+	}
+
+	// Reboot: the custom configuration survives, not the -stripes 2 /
+	// -m 512 defaults the process was started with.
+	base, done = serve()
+	waitUp(base)
+	n, stripes := tenantStats(base)
+	if n != 2048 {
+		t.Fatalf("restored n = %g, want 2048", n)
+	}
+	if stripes != 3 {
+		t.Fatalf("restored stripes = %g, want the tenant's own 3", stripes)
+	}
+
+	// The Query reader sees the same state through the typed client.
+	q := opaqclient.NewQuery(base, opaqclient.Options{Tenant: "fast"})
+	st, err := q.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 2048 || st.Partial {
+		t.Fatalf("Query stats = %+v, want n=2048 partial=false", st)
+	}
+	qa, err := q.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Partial {
+		t.Fatal("single-server quantile reported partial")
+	}
+	if _, err := strconv.ParseInt(qa.Lower, 10, 64); err != nil {
+		t.Fatalf("median lower bound not an int64: %q", qa.Lower)
 	}
 	shutdown(done)
 }

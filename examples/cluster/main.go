@@ -1,0 +1,102 @@
+// Cluster: drive the distributed tier end to end through one
+// coordinator — ensure a tenant exists (placing it on the ring), push
+// elements over the binary ingest path (the coordinator proxies frames
+// to the owning workers), then read back quantiles, selectivity, stats
+// and fleet health. CI's multi-process smoke uses it against 2 workers
+// + 1 coordinator; it doubles as the opaqclient Query usage example.
+//
+// Run with:
+//
+//	opaq worker -addr :9001 -checkpoint-dir /tmp/w1 &
+//	opaq worker -addr :9002 -checkpoint-dir /tmp/w2 &
+//	opaq coord  -addr :8080 -workers http://localhost:9001,http://localhost:9002 -spread 2 &
+//	go run ./examples/cluster -coord http://localhost:8080 -tenant latency -n 100000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"opaq"
+	"opaq/opaqclient"
+)
+
+func main() {
+	var (
+		coord  = flag.String("coord", "http://localhost:8080", "coordinator (or single-server) base URL")
+		tenant = flag.String("tenant", "latency", "tenant to create and ingest into")
+		n      = flag.Int("n", 100_000, "elements to push")
+		batch  = flag.Int("batch", 4096, "client batch size (flush trigger)")
+		seed   = flag.Int64("seed", 42, "RNG seed for the pushed elements")
+	)
+	flag.Parse()
+
+	opts := opaqclient.Options{Tenant: *tenant, MaxBatch: *batch}
+	q := opaqclient.NewQuery(*coord, opts)
+	if err := q.EnsureTenant(); err != nil {
+		log.Fatalf("ensure tenant: %v", err)
+	}
+
+	// The write side is the same batching client as against a single
+	// server: the coordinator relays each binary frame to an owning
+	// worker, failing over if one is down.
+	c := opaqclient.NewHTTP(*coord, opaq.Int64Codec{}, opts)
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		v := int64(2000 + rng.ExpFloat64()*1500)
+		for {
+			err := c.Add(v)
+			if err == nil {
+				break
+			}
+			var bp *opaqclient.Backpressure
+			if errors.As(err, &bp) {
+				log.Printf("backpressure, retrying in %v", bp.RetryAfter)
+				time.Sleep(bp.RetryAfter)
+				continue
+			}
+			log.Fatalf("add: %v", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Printf("pushed %d elements in %v; server n=%d\n",
+		*n, time.Since(start).Round(time.Millisecond), c.N())
+
+	st, err := q.Stats()
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+	fmt.Printf("stats: n=%d samples=%d owners=%v down=%v partial=%v\n",
+		st.N, st.Samples, st.Owners, st.Down, st.Partial)
+
+	for _, phi := range []float64{0.5, 0.95, 0.99} {
+		qa, err := q.Quantile(phi)
+		if err != nil {
+			log.Fatalf("quantile %g: %v", phi, err)
+		}
+		fmt.Printf("p%-4g ∈ [%s, %s] (rank %d, partial=%v)\n",
+			phi*100, qa.Lower, qa.Upper, qa.Rank, qa.Partial)
+	}
+
+	// Fraction of latencies in [2ms, 5ms], bounds as decimal key strings.
+	sel, err := q.Selectivity(strconv.Itoa(2000), strconv.Itoa(5000))
+	if err != nil {
+		log.Fatalf("selectivity: %v", err)
+	}
+	fmt.Printf("selectivity[2000,5000] = %.4f ±%.0f (partial=%v)\n",
+		sel.Selectivity, sel.MaxAbsError, sel.Partial)
+
+	h, err := q.Healthz()
+	if err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+	fmt.Printf("health: %s (go %s, rev %s)\n", h.Status, h.Build["go"], h.Build["vcs_revision"])
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client-side defaults. Three attempts with doubling backoff ride out a
+// worker restart measured in tens of milliseconds without stretching a
+// genuinely-down worker's failure past ~200ms per call.
+const (
+	defaultAttempts = 3
+	defaultBackoff  = 50 * time.Millisecond
+)
+
+// WorkerClient is the coordinator's HTTP client to workers: bounded
+// retries with doubling backoff on transport errors and on gateway-ish
+// statuses (502/503/504), which a restarting worker's listener can emit.
+// 4xx and plain 5xx responses are returned to the caller unretried — they
+// are answers, not outages.
+type WorkerClient struct {
+	// HTTP is the underlying client; nil means a client with a 5-second
+	// timeout (a worker answering slower than that is down for serving
+	// purposes).
+	HTTP *http.Client
+	// Attempts is the total try count (0 means 3).
+	Attempts int
+	// Backoff is the first retry delay, doubling per retry (0 means 50ms).
+	Backoff time.Duration
+}
+
+func (c *WorkerClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Do issues one logical request with retries. body may be nil; it is
+// replayed from the byte slice on every attempt.
+func (c *WorkerClient) Do(method, url, contentType string, body []byte) (*http.Response, error) {
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = defaultAttempts
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			lastErr = fmt.Errorf("cluster: %s %s: status %d", method, url, resp.StatusCode)
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("cluster: worker unreachable after %d attempts: %w", attempts, lastErr)
+}
+
+// GetBody is Do(GET) returning the response body and status. Transport
+// failure after retries returns err != nil; any HTTP status is a success
+// at this layer.
+func (c *WorkerClient) GetBody(url string) (status int, body []byte, err error) {
+	resp, err := c.Do(http.MethodGet, url, "", nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}

@@ -1,0 +1,648 @@
+package cluster
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"opaq/internal/core"
+	"opaq/internal/engine"
+	"opaq/internal/histogram"
+	"opaq/internal/runio"
+)
+
+// Coordinator errors surfaced to HTTP statuses.
+var (
+	// ErrNoSurvivors reports a scatter-gather in which every owner of the
+	// tenant was unreachable — there is nothing to answer from, degraded
+	// or otherwise.
+	ErrNoSurvivors = errors.New("cluster: no surviving owner")
+	// errBadWorker reports a worker answering outside its protocol
+	// (unexpected status, undecodable summary) — a bug or version skew,
+	// not an outage.
+	errBadWorker = errors.New("cluster: unexpected worker response")
+	errBadGather = errors.New("cluster: bad request")
+)
+
+// maxQuantiles mirrors the engine handler's cap on GET /quantiles.
+const maxQuantiles = 4096
+
+// maxProxyBody bounds an ingest body buffered for relay; workers enforce
+// their own (smaller) limits on top.
+const maxProxyBody = 64 << 20
+
+// Options configures a Coordinator.
+type Options[T cmp.Ordered] struct {
+	// Workers is the fleet: worker base URLs ("http://host:port"). At
+	// least one is required; the set is fixed for the coordinator's
+	// lifetime (restart to re-shard).
+	Workers []string
+	// Spread is the number of distinct workers a tenant's data may live
+	// on: ingest round-robins across the tenant's first Spread ring
+	// owners (failing over past down ones) and queries merge all of them.
+	// 1 (the default) pins each tenant to a single worker; higher spreads
+	// trade query fan-out for ingest balance and faster failover.
+	Spread int
+	// VirtualNodes is the consistent-hash points per worker (0 = 64).
+	VirtualNodes int
+	// Codec decodes worker summaries; required.
+	Codec runio.Codec[T]
+	// Parse converts query-string keys (selectivity bounds); required.
+	Parse engine.ParseKey[T]
+	// Buckets is the equi-depth histogram resolution for selectivity
+	// answers over merged summaries (0 = engine.DefaultBuckets).
+	Buckets int
+	// Client is the worker HTTP client; nil uses defaults (3 attempts,
+	// 50ms doubling backoff, 5s timeout).
+	Client *WorkerClient
+}
+
+// Coordinator scatter-gathers a worker fleet behind the engine's HTTP
+// surface. All methods are safe for concurrent use.
+type Coordinator[T cmp.Ordered] struct {
+	opts    Options[T]
+	ring    *Ring
+	client  *WorkerClient
+	buckets int
+	rr      sync.Map // tenant name -> *atomic.Uint64 ingest cursor
+}
+
+// New validates the options and builds the ring.
+func New[T cmp.Ordered](opts Options[T]) (*Coordinator[T], error) {
+	if opts.Codec == nil {
+		return nil, fmt.Errorf("cluster: Options.Codec is required")
+	}
+	if opts.Parse == nil {
+		return nil, fmt.Errorf("cluster: Options.Parse is required")
+	}
+	ring, err := NewRing(opts.Workers, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Spread == 0 {
+		opts.Spread = 1
+	}
+	if opts.Spread < 1 {
+		return nil, fmt.Errorf("cluster: Spread must be positive, got %d", opts.Spread)
+	}
+	buckets := opts.Buckets
+	if buckets == 0 {
+		buckets = engine.DefaultBuckets
+	}
+	client := opts.Client
+	if client == nil {
+		client = &WorkerClient{}
+	}
+	return &Coordinator[T]{opts: opts, ring: ring, client: client, buckets: buckets}, nil
+}
+
+// Owners returns the tenant's owner set in failover preference order.
+func (c *Coordinator[T]) Owners(tenant string) []string {
+	return c.ring.Owners(tenant, c.opts.Spread)
+}
+
+// Handler mounts the engine HTTP surface over the fleet: tenant routes
+// under /t/{tenant}/ plus the default-tenant root aliases, the admin API,
+// and an aggregated /healthz.
+func (c *Coordinator[T]) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, prefix := range []string{"", "/t/{tenant}"} {
+		mux.HandleFunc("POST "+prefix+"/ingest", c.withTenant(c.ingest))
+		mux.HandleFunc("GET "+prefix+"/quantile", c.withTenant(c.quantile))
+		mux.HandleFunc("GET "+prefix+"/quantiles", c.withTenant(c.quantiles))
+		mux.HandleFunc("GET "+prefix+"/selectivity", c.withTenant(c.selectivity))
+		mux.HandleFunc("GET "+prefix+"/stats", c.withTenant(c.stats))
+		mux.HandleFunc("GET "+prefix+"/summary", c.withTenant(c.summary))
+	}
+	mux.HandleFunc("POST /admin/tenants", c.adminCreate)
+	mux.HandleFunc("GET /admin/tenants", c.adminList)
+	mux.HandleFunc("DELETE /admin/tenants/{tenant}", c.adminDelete)
+	mux.HandleFunc("GET /healthz", c.healthz)
+	return mux
+}
+
+func (c *Coordinator[T]) withTenant(f func(tenant string, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.PathValue("tenant")
+		if tenant == "" {
+			tenant = engine.DefaultTenant
+		}
+		if !engine.ValidTenantName(tenant) {
+			writeErr(w, fmt.Errorf("%w: %q", engine.ErrTenantName, tenant))
+			return
+		}
+		f(tenant, w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps coordinator errors onto statuses, extending the engine
+// handler's mapping with the fleet-level outcomes: every owner down is
+// 503 (outage), a protocol-breaking worker is 502 (bad gateway).
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrUnknownTenant):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrEmpty), errors.Is(err, engine.ErrTenantExists):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrPhi), errors.Is(err, errBadGather),
+		errors.Is(err, engine.ErrTenantName), errors.Is(err, core.ErrConfig):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNoSurvivors):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, errBadWorker):
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ingest relays the request body — JSON or binary frames, the worker
+// handler content-negotiates — to one of the tenant's owners, round-robin
+// with failover: a transport-dead or 5xx owner is skipped, the next one
+// takes the batch. Because queries merge every owner's summary, a batch
+// landing on any owner is equivalent; failover loses availability of a
+// worker, never data. The chosen owner's response (including 409/413/429
+// backpressure answers and their Retry-After) is relayed verbatim.
+func (c *Coordinator[T]) ingest(tenant string, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxProxyBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+				"error": fmt.Sprintf("body exceeds %d bytes; split the batch", tooBig.Limit),
+			})
+			return
+		}
+		writeErr(w, fmt.Errorf("%w: reading body: %v", errBadGather, err))
+		return
+	}
+	owners := c.Owners(tenant)
+	cursorAny, _ := c.rr.LoadOrStore(tenant, new(atomic.Uint64))
+	start := int(cursorAny.(*atomic.Uint64).Add(1) - 1)
+	contentType := r.Header.Get("Content-Type")
+	var lastErr error
+	for i := 0; i < len(owners); i++ {
+		owner := owners[(start+i)%len(owners)]
+		resp, err := c.client.Do(http.MethodPost, owner+"/t/"+tenant+"/ingest", contentType, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%w: owner %s status %d", errBadWorker, owner, resp.StatusCode)
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeErr(w, fmt.Errorf("%w for tenant %q: %v", ErrNoSurvivors, tenant, lastErr))
+}
+
+// relay copies a worker response (status, JSON body, Retry-After) out.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", v)
+	}
+	if v := resp.Header.Get("Content-Type"); v != "" {
+		w.Header().Set("Content-Type", v)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// gathered is one scatter-gather outcome: the merged summary of the
+// owners that answered, plus the degradation bookkeeping.
+type gathered[T cmp.Ordered] struct {
+	sum     *core.Summary[T]
+	partial bool     // at least one owner did not contribute
+	owners  []string // the tenant's full owner set
+	down    []string // owners unreachable after retries
+}
+
+// gather fetches the tenant's summary from every owner concurrently and
+// reduces with core.MergeAll. Owner outcomes: a summary (contributes), a
+// 404 (tenant not on that worker — normal when ingest has not touched
+// every owner), or unreachable (degrades the answer). All-404 is
+// ErrUnknownTenant; no contribution with at least one owner down is
+// ErrNoSurvivors.
+func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
+	owners := c.Owners(tenant)
+	type outcome struct {
+		sum  *core.Summary[T]
+		miss bool // clean 404
+		err  error
+	}
+	outs := make([]outcome, len(owners))
+	var wg sync.WaitGroup
+	for i, owner := range owners {
+		wg.Add(1)
+		go func(i int, owner string) {
+			defer wg.Done()
+			status, body, err := c.client.GetBody(owner + "/t/" + tenant + "/summary")
+			switch {
+			case err != nil:
+				outs[i].err = err
+			case status == http.StatusNotFound:
+				outs[i].miss = true
+			case status != http.StatusOK:
+				outs[i].err = fmt.Errorf("%w: owner %s status %d", errBadWorker, owner, status)
+			default:
+				sum, err := core.LoadSummary[T](bytes.NewReader(body), c.opts.Codec)
+				if err != nil {
+					outs[i].err = fmt.Errorf("%w: owner %s summary: %v", errBadWorker, owner, err)
+				} else {
+					outs[i].sum = sum
+				}
+			}
+		}(i, owner)
+	}
+	wg.Wait()
+	g := &gathered[T]{owners: owners}
+	var sums []*core.Summary[T]
+	misses := 0
+	var badWorker error
+	for i, out := range outs {
+		switch {
+		case out.sum != nil:
+			sums = append(sums, out.sum)
+		case out.miss:
+			misses++
+		default:
+			if errors.Is(out.err, errBadWorker) && badWorker == nil {
+				badWorker = out.err
+			}
+			g.partial = true
+			g.down = append(g.down, owners[i])
+		}
+	}
+	if len(sums) == 0 {
+		switch {
+		case misses == len(owners):
+			return nil, fmt.Errorf("%w: %q", engine.ErrUnknownTenant, tenant)
+		case badWorker != nil && len(g.down) == len(owners):
+			return nil, badWorker
+		default:
+			return nil, fmt.Errorf("%w for tenant %q (%d of %d owners down)",
+				ErrNoSurvivors, tenant, len(g.down), len(owners))
+		}
+	}
+	sum, err := core.MergeAll(sums)
+	if err != nil {
+		return nil, fmt.Errorf("%w: merging owner summaries: %v", errBadWorker, err)
+	}
+	g.sum = sum
+	return g, nil
+}
+
+// boundsJSON mirrors the engine handler's quantile enclosure shape.
+type boundsJSON struct {
+	Phi      float64 `json:"phi"`
+	Rank     int64   `json:"rank"`
+	Lower    string  `json:"lower"`
+	Upper    string  `json:"upper"`
+	MaxBelow int64   `json:"max_below"`
+	MaxAbove int64   `json:"max_above"`
+}
+
+func toBoundsJSON[T cmp.Ordered](b core.Bounds[T]) boundsJSON {
+	return boundsJSON{
+		Phi:      b.Phi,
+		Rank:     b.Rank,
+		Lower:    fmt.Sprint(b.Lower),
+		Upper:    fmt.Sprint(b.Upper),
+		MaxBelow: b.MaxBelow,
+		MaxAbove: b.MaxAbove,
+	}
+}
+
+func (c *Coordinator[T]) quantile(tenant string, w http.ResponseWriter, r *http.Request) {
+	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: phi: %v", errBadGather, err))
+		return
+	}
+	g, err := c.gather(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	b, err := g.sum.Bounds(phi)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"phi":       b.Phi,
+		"rank":      b.Rank,
+		"lower":     fmt.Sprint(b.Lower),
+		"upper":     fmt.Sprint(b.Upper),
+		"max_below": b.MaxBelow,
+		"max_above": b.MaxAbove,
+		"partial":   g.partial,
+	})
+}
+
+func (c *Coordinator[T]) quantiles(tenant string, w http.ResponseWriter, r *http.Request) {
+	q, err := strconv.Atoi(r.URL.Query().Get("q"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: q: %v", errBadGather, err))
+		return
+	}
+	if q > maxQuantiles {
+		writeErr(w, fmt.Errorf("%w: q=%d exceeds maximum %d", errBadGather, q, maxQuantiles))
+		return
+	}
+	g, err := c.gather(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	bs, err := g.sum.Quantiles(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]boundsJSON, len(bs))
+	for i, b := range bs {
+		out[i] = toBoundsJSON(b)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"quantiles": out, "partial": g.partial})
+}
+
+func (c *Coordinator[T]) selectivity(tenant string, w http.ResponseWriter, r *http.Request) {
+	a, err := c.opts.Parse(r.URL.Query().Get("a"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: a: %v", errBadGather, err))
+		return
+	}
+	b, err := c.opts.Parse(r.URL.Query().Get("b"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: b: %v", errBadGather, err))
+		return
+	}
+	g, err := c.gather(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if g.sum.N() == 0 {
+		writeErr(w, core.ErrEmpty)
+		return
+	}
+	hist, err := histogram.Build(g.sum, c.buckets)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	est := hist.EstimateRange(a, b)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"a":             fmt.Sprint(a),
+		"b":             fmt.Sprint(b),
+		"selectivity":   est / float64(hist.N()),
+		"estimate":      est,
+		"max_abs_error": hist.MaxRangeError(),
+		"partial":       g.partial,
+	})
+}
+
+func (c *Coordinator[T]) stats(tenant string, w http.ResponseWriter, r *http.Request) {
+	g, err := c.gather(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":       g.sum.N(),
+		"samples": g.sum.SampleCount(),
+		"step":    g.sum.Step(),
+		"owners":  g.owners,
+		"down":    g.down,
+		"partial": g.partial,
+	})
+}
+
+// summary serves the merged summary in the checksummed core.SaveSummary
+// format — the same bytes a local engine's checkpoint would hold when the
+// stream was run-aligned, which is what the multi-process equivalence
+// harness asserts. Degradation is flagged in the X-Opaq-Partial header
+// (the body is pure summary bytes).
+func (c *Coordinator[T]) summary(tenant string, w http.ResponseWriter, r *http.Request) {
+	g, err := c.gather(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := core.SaveSummary(&buf, g.sum, c.opts.Codec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Opaq-Partial", strconv.FormatBool(g.partial))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// adminCreate creates the tenant on every owner. A 409 from an owner
+// counts as success — creates are idempotent retried — so a half-created
+// tenant heals on retry. Any owner unreachable fails the create (a tenant
+// that silently exists on only part of its owner set would serve partial
+// answers forever).
+func (c *Coordinator[T]) adminCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: reading body: %v", errBadGather, err))
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, fmt.Errorf("%w: decoding body: %v", errBadGather, err))
+		return
+	}
+	if !engine.ValidTenantName(req.Name) {
+		writeErr(w, fmt.Errorf("%w: %q", engine.ErrTenantName, req.Name))
+		return
+	}
+	owners := c.Owners(req.Name)
+	for _, owner := range owners {
+		resp, err := c.client.Do(http.MethodPost, owner+"/admin/tenants", "application/json", body)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: owner %s: %v", ErrNoSurvivors, owner, err))
+			return
+		}
+		status := resp.StatusCode
+		if status != http.StatusCreated && status != http.StatusConflict {
+			relay(w, resp)
+			return
+		}
+		resp.Body.Close()
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"tenant":  req.Name,
+		"workers": owners,
+	})
+}
+
+// adminList unions every worker's tenant list, annotating each tenant
+// with its owner set; unreachable workers flag the listing partial.
+func (c *Coordinator[T]) adminList(w http.ResponseWriter, r *http.Request) {
+	type workerList struct {
+		tenants []string
+		err     error
+	}
+	workers := c.ring.Workers()
+	lists := make([]workerList, len(workers))
+	var wg sync.WaitGroup
+	for i, worker := range workers {
+		wg.Add(1)
+		go func(i int, worker string) {
+			defer wg.Done()
+			status, body, err := c.client.GetBody(worker + "/admin/tenants")
+			if err != nil {
+				lists[i].err = err
+				return
+			}
+			if status != http.StatusOK {
+				lists[i].err = fmt.Errorf("%w: status %d", errBadWorker, status)
+				return
+			}
+			var parsed struct {
+				Tenants []struct {
+					Name string `json:"name"`
+				} `json:"tenants"`
+			}
+			if err := json.Unmarshal(body, &parsed); err != nil {
+				lists[i].err = fmt.Errorf("%w: %v", errBadWorker, err)
+				return
+			}
+			for _, e := range parsed.Tenants {
+				lists[i].tenants = append(lists[i].tenants, e.Name)
+			}
+		}(i, worker)
+	}
+	wg.Wait()
+	names := map[string]bool{}
+	partial := false
+	for _, l := range lists {
+		if l.err != nil {
+			partial = true
+			continue
+		}
+		for _, n := range l.tenants {
+			names[n] = true
+		}
+	}
+	type entry struct {
+		Name   string   `json:"name"`
+		Owners []string `json:"owners"`
+	}
+	out := make([]entry, 0, len(names))
+	for n := range names {
+		out = append(out, entry{Name: n, Owners: c.Owners(n)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out, "partial": partial})
+}
+
+// adminDelete removes the tenant from every worker (not just current
+// owners, so a fleet whose ring changed across restarts still cleans up).
+// Unreachable workers fail the delete — a half-deleted tenant would
+// resurrect from the missed worker's checkpoint.
+func (c *Coordinator[T]) adminDelete(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	found := false
+	for _, worker := range c.ring.Workers() {
+		resp, err := c.client.Do(http.MethodDelete, worker+"/admin/tenants/"+tenant, "", nil)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: worker %s: %v", ErrNoSurvivors, worker, err))
+			return
+		}
+		status := resp.StatusCode
+		resp.Body.Close()
+		switch {
+		case status == http.StatusOK || status == http.StatusNoContent:
+			found = true
+		case status == http.StatusNotFound:
+		default:
+			writeErr(w, fmt.Errorf("%w: worker %s status %d", errBadWorker, worker, status))
+			return
+		}
+	}
+	if !found {
+		writeErr(w, fmt.Errorf("%w: %q", engine.ErrUnknownTenant, tenant))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": tenant})
+}
+
+// healthz aggregates worker health: the coordinator answers 200 whenever
+// it serves (its own liveness), reporting "ok" only when every worker
+// responded and "degraded" otherwise, with per-worker detail and build
+// info on both sides so mixed-version fleets are diagnosable in one
+// round trip.
+func (c *Coordinator[T]) healthz(w http.ResponseWriter, r *http.Request) {
+	workers := c.ring.Workers()
+	type health struct {
+		body map[string]any
+		err  error
+	}
+	healths := make([]health, len(workers))
+	var wg sync.WaitGroup
+	for i, worker := range workers {
+		wg.Add(1)
+		go func(i int, worker string) {
+			defer wg.Done()
+			status, body, err := c.client.GetBody(worker + "/healthz")
+			if err != nil {
+				healths[i].err = err
+				return
+			}
+			if status != http.StatusOK {
+				healths[i].err = fmt.Errorf("status %d", status)
+				return
+			}
+			var parsed map[string]any
+			if err := json.Unmarshal(body, &parsed); err != nil {
+				healths[i].err = err
+				return
+			}
+			healths[i].body = parsed
+		}(i, worker)
+	}
+	wg.Wait()
+	out := map[string]any{}
+	status := "ok"
+	for i, worker := range workers {
+		if healths[i].err != nil {
+			status = "degraded"
+			out[worker] = map[string]any{"status": "down", "error": healths[i].err.Error()}
+			continue
+		}
+		out[worker] = healths[i].body
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"build":   engine.BuildInfo(),
+		"workers": out,
+	})
+}

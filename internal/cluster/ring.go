@@ -1,0 +1,120 @@
+// Package cluster is the distributed serving tier: a consistent-hash
+// coordinator fronting a fleet of worker processes, each an engine
+// registry (see cmd/opaq worker / coord).
+//
+// Tenants are placed on workers by a consistent-hash ring, ingest is
+// routed to the owning workers, and queries scatter-gather: the
+// coordinator fetches each owner's summary (GET /t/{tenant}/summary, the
+// checksummed core.SaveSummary bytes) and reduces with core.MergeAll —
+// summaries are tiny and mergeable by construction, which is what makes
+// this tier cheap. When an owner is down the coordinator still answers
+// from the survivors, flagging the response "partial": true.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is the ring points per worker. More points smooth
+// the tenant distribution; 64 keeps the max/min load ratio within a few
+// percent for realistic fleet sizes at negligible memory.
+const defaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over worker addresses.
+// Immutability is deliberate: membership changes are a deploy-time
+// concern (restart the coordinator with the new fleet), not a data-path
+// concern, and an immutable ring needs no locking on lookups.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	workers []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int // index into workers
+}
+
+// NewRing builds a ring with virtualNodes points per worker (0 means the
+// default). Worker addresses must be unique and non-empty.
+func NewRing(workers []string, virtualNodes int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	if virtualNodes == 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	if virtualNodes < 1 {
+		return nil, fmt.Errorf("cluster: virtual nodes must be positive, got %d", virtualNodes)
+	}
+	seen := make(map[string]bool, len(workers))
+	r := &Ring{workers: append([]string(nil), workers...)}
+	for i, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker address")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker address %q", w)
+		}
+		seen[w] = true
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", w, v)),
+				worker: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r, nil
+}
+
+// Workers returns the ring's member addresses in construction order.
+func (r *Ring) Workers() []string { return append([]string(nil), r.workers...) }
+
+// Owners returns the first spread distinct workers clockwise from the
+// key's hash — the tenant's owner set, in failover preference order.
+// spread is clamped to the fleet size.
+func (r *Ring) Owners(key string, spread int) []string {
+	if spread < 1 {
+		spread = 1
+	}
+	if spread > len(r.workers) {
+		spread = len(r.workers)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, spread)
+	taken := make(map[int]bool, spread)
+	for i := 0; len(owners) < spread && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.worker] {
+			taken[p.worker] = true
+			owners = append(owners, r.workers[p.worker])
+		}
+	}
+	return owners
+}
+
+// hash64 is FNV-1a with a murmur3-style finalizer, stable across
+// processes and Go versions — tenant placement must agree between every
+// coordinator in the fleet. The finalizer matters: raw FNV over the
+// ring's structured keys ("addr#0", "addr#1", …) clusters badly (one
+// worker can end up owning 4x another's share); the avalanche mix
+// restores a uniform spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

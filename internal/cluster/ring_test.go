@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDeterministic(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r1, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"metrics", "orders", "users", "a", ""} {
+		for spread := 1; spread <= 5; spread++ {
+			o1 := r1.Owners(tenant, spread)
+			o2 := r2.Owners(tenant, spread)
+			if !reflect.DeepEqual(o1, o2) {
+				t.Fatalf("owners(%q, %d) differ across identical rings: %v vs %v", tenant, spread, o1, o2)
+			}
+			want := spread
+			if want > len(workers) {
+				want = len(workers)
+			}
+			if len(o1) != want {
+				t.Fatalf("owners(%q, %d) = %v, want %d distinct", tenant, spread, o1, want)
+			}
+			seen := map[string]bool{}
+			for _, o := range o1 {
+				if seen[o] {
+					t.Fatalf("owners(%q, %d) repeats %q", tenant, spread, o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+	// spread below 1 clamps to 1.
+	if got := r1.Owners("x", 0); len(got) != 1 {
+		t.Errorf("owners with spread 0 = %v", got)
+	}
+}
+
+// Virtual nodes keep the tenant distribution roughly balanced: with 4
+// workers no worker should own a trivial share of 4000 tenants.
+func TestRingDistribution(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const tenants = 4000
+	for i := 0; i < tenants; i++ {
+		counts[r.Owners(fmt.Sprintf("tenant-%d", i), 1)[0]]++
+	}
+	for _, w := range workers {
+		if counts[w] < tenants/10 {
+			t.Errorf("worker %s owns only %d of %d tenants — distribution too skewed", w, counts[w], tenants)
+		}
+	}
+}
+
+// A worker joining moves only the tenants that hash to it — consistent
+// hashing's defining property (vs modulo placement, which reshuffles
+// nearly everything).
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	small, err := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing([]string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 2000
+	moved := 0
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		before, after := small.Owners(name, 1)[0], big.Owners(name, 1)[0]
+		if before != after {
+			if after != "http://d:4" {
+				t.Fatalf("tenant %q moved between surviving workers: %s -> %s", name, before, after)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/4 of tenants to move to the new worker; far more means the
+	// hash is not consistent, far fewer means the new worker is idle.
+	if moved < tenants/8 || moved > tenants/2 {
+		t.Errorf("%d of %d tenants moved on growth; want roughly 1/4", moved, tenants)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty fleet should fail")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Error("duplicate worker should fail")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty address should fail")
+	}
+	if _, err := NewRing([]string{"http://a:1"}, -1); err == nil {
+		t.Error("negative virtual nodes should fail")
+	}
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildInfoOnce   sync.Once
+	buildInfoCached map[string]string
+)
+
+// BuildInfo returns version/commit metadata baked into the binary
+// (debug.ReadBuildInfo), exposed on /healthz so mixed-version clusters —
+// a coordinator fronting workers rolled at different times — are
+// diagnosable from the health endpoint alone.
+func BuildInfo() map[string]string {
+	buildInfoOnce.Do(func() {
+		buildInfoCached = map[string]string{"go": "", "version": "", "vcs_revision": "", "vcs_time": ""}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoCached["go"] = bi.GoVersion
+		buildInfoCached["version"] = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoCached["vcs_revision"] = s.Value
+			case "vcs.time":
+				buildInfoCached["vcs_time"] = s.Value
+			}
+		}
+	})
+	return buildInfoCached
+}

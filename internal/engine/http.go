@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"bytes"
 	"cmp"
 	"encoding/json"
 	"errors"
@@ -167,6 +168,7 @@ func (h *handler[T]) engineRoutes(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc("GET "+prefix+"/quantiles", h.withEngine(h.quantiles))
 	mux.HandleFunc("GET "+prefix+"/selectivity", h.withEngine(h.selectivity))
 	mux.HandleFunc("GET "+prefix+"/stats", h.withEngine(h.stats))
+	mux.HandleFunc("GET "+prefix+"/summary", h.withEngine(h.summary))
 }
 
 // withEngine resolves the request's engine: the single engine, or the
@@ -425,6 +427,27 @@ func (h *handler[T]) stats(eng *Engine[T], w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusOK, out)
 }
 
+// summary is the summary-fetch RPC: the engine's current snapshot in the
+// checksummed core.SaveSummary format — the same bytes a checkpoint file
+// holds. A coordinator scatter-gathers these per-worker summaries and
+// reduces them with core.MergeAll; summaries are tiny (the sample list),
+// so the transfer is cheap at any N. Requires a codec (415 without one).
+func (h *handler[T]) summary(eng *Engine[T], w http.ResponseWriter, r *http.Request) {
+	if h.codec == nil {
+		http.Error(w, "no element codec configured for binary summaries", http.StatusUnsupportedMediaType)
+		return
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf, h.codec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
 // healthz is the liveness probe: 200 whenever the process serves, with
 // per-tenant epoch/ingest stats so orchestration and CI can wait on
 // readiness and inspect lifecycle progress in one round trip.
@@ -443,6 +466,7 @@ func (h *handler[T]) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
+		"build":   BuildInfo(),
 		"tenants": tenants,
 	})
 }

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"cmp"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -28,6 +29,12 @@ const DefaultTenant = "default"
 // checkpointExt is the per-tenant checkpoint file suffix; the basename is
 // the tenant name.
 const checkpointExt = ".ckpt"
+
+// optionsExt is the per-tenant Options sidecar suffix. The sidecar makes
+// reboots fully faithful: a tenant created with its own epoch policy,
+// retention or stripe count gets exactly that configuration back, not the
+// registry defaults with a step-adapted SampleSize.
+const optionsExt = ".opts.json"
 
 // Registry errors.
 var (
@@ -71,6 +78,7 @@ type Registry[T cmp.Ordered] struct {
 	opts    RegistryOptions[T]
 	mu      sync.RWMutex
 	tenants map[string]*Engine[T]
+	configs map[string]Options
 	// fileMu serializes checkpoint-file writes and removals so a
 	// CheckpointAll racing a Delete cannot recreate a deleted tenant's
 	// file (which would resurrect it on the next boot).
@@ -88,7 +96,11 @@ func NewRegistry[T cmp.Ordered](opts RegistryOptions[T]) (*Registry[T], error) {
 	if opts.CheckpointDir != "" && opts.Codec == nil {
 		return nil, fmt.Errorf("%w: CheckpointDir set without a Codec", core.ErrConfig)
 	}
-	r := &Registry[T]{opts: opts, tenants: make(map[string]*Engine[T])}
+	r := &Registry[T]{
+		opts:    opts,
+		tenants: make(map[string]*Engine[T]),
+		configs: make(map[string]Options),
+	}
 	if opts.CheckpointDir == "" {
 		return r, nil
 	}
@@ -112,10 +124,39 @@ func NewRegistry[T cmp.Ordered](opts RegistryOptions[T]) (*Registry[T], error) {
 			return nil, fmt.Errorf("engine: restoring tenant %q: %w", name, err)
 		}
 	}
+	// A tenant created but never checkpointed leaves only an Options
+	// sidecar; recreate it empty so the tenant itself survives the reboot.
+	for _, ent := range ents {
+		name, ok := strings.CutSuffix(ent.Name(), optionsExt)
+		if !ok || ent.IsDir() || !ValidTenantName(name) {
+			continue
+		}
+		if _, exists := r.tenants[name]; exists {
+			continue
+		}
+		var o Options
+		buf, err := os.ReadFile(filepath.Join(opts.CheckpointDir, ent.Name()))
+		if err == nil {
+			err = json.Unmarshal(buf, &o)
+		}
+		if err == nil {
+			var eng *Engine[T]
+			if eng, err = New[T](o); err == nil {
+				r.tenants[name] = eng
+				r.configs[name] = o
+			}
+		}
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("engine: restoring tenant %q from options sidecar: %w", name, err)
+		}
+	}
 	return r, nil
 }
 
-// restoreTenant boots one tenant from its checkpoint file.
+// restoreTenant boots one tenant from its checkpoint file, preferring the
+// Options sidecar (written at Create and on every CheckpointAll) over the
+// registry defaults so the tenant comes back with its exact configuration.
 func (r *Registry[T]) restoreTenant(name, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -127,9 +168,17 @@ func (r *Registry[T]) restoreTenant(name, path string) error {
 		return err
 	}
 	opts := r.opts.Defaults
+	if buf, err := os.ReadFile(r.optionsPath(name)); err == nil {
+		if err := json.Unmarshal(buf, &opts); err != nil {
+			return fmt.Errorf("options sidecar: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("options sidecar: %w", err)
+	}
 	if step := int(sum.Step()); sum.N() > 0 && step != opts.Config.Step() {
 		// The checkpoint fixes the step; re-derive SampleSize around it so
-		// merges stay compatible.
+		// merges stay compatible. (With a sidecar this only triggers when
+		// the files disagree — e.g. a hand-edited sidecar.)
 		if step <= 0 || opts.Config.RunLen%step != 0 {
 			return fmt.Errorf("%w: checkpoint step %d incompatible with RunLen %d",
 				core.ErrIncompatible, step, opts.Config.RunLen)
@@ -145,6 +194,7 @@ func (r *Registry[T]) restoreTenant(name, path string) error {
 		return err
 	}
 	r.tenants[name] = eng
+	r.configs[name] = opts
 	return nil
 }
 
@@ -160,16 +210,48 @@ func (r *Registry[T]) Create(name string, opts *Options) (*Engine[T], error) {
 		o = *opts
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.tenants[name]; ok {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
 	}
 	eng, err := New[T](o)
 	if err != nil {
+		r.mu.Unlock()
 		return nil, err
 	}
 	r.tenants[name] = eng
+	r.configs[name] = o
+	r.mu.Unlock()
+	if r.opts.CheckpointDir != "" {
+		// Persist the configuration immediately; the checkpoint itself
+		// follows on the next CheckpointAll. Same membership discipline as
+		// CheckpointAll vs Delete: re-check under fileMu.
+		r.fileMu.Lock()
+		r.mu.RLock()
+		_, alive := r.tenants[name]
+		r.mu.RUnlock()
+		var werr error
+		if alive {
+			werr = r.writeOptionsFile(name, o)
+		}
+		r.fileMu.Unlock()
+		if werr != nil {
+			return eng, fmt.Errorf("engine: persisting tenant %q options: %w", name, werr)
+		}
+	}
 	return eng, nil
+}
+
+// TenantOptions returns the Options the tenant was created or restored
+// with.
+func (r *Registry[T]) TenantOptions(name string) (Options, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	o, ok := r.configs[name]
+	if !ok {
+		return Options{}, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return o, nil
 }
 
 // Get returns the tenant's engine.
@@ -201,6 +283,7 @@ func (r *Registry[T]) Delete(name string) error {
 	r.mu.Lock()
 	eng, ok := r.tenants[name]
 	delete(r.tenants, name)
+	delete(r.configs, name)
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
@@ -212,6 +295,9 @@ func (r *Registry[T]) Delete(name string) error {
 		// removal or will skip the tenant on its membership re-check.
 		r.fileMu.Lock()
 		err := os.Remove(r.checkpointPath(name))
+		if oerr := os.Remove(r.optionsPath(name)); err == nil {
+			err = oerr
+		}
 		r.fileMu.Unlock()
 		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
@@ -223,6 +309,30 @@ func (r *Registry[T]) Delete(name string) error {
 // checkpointPath is the tenant's checkpoint file path.
 func (r *Registry[T]) checkpointPath(name string) string {
 	return filepath.Join(r.opts.CheckpointDir, name+checkpointExt)
+}
+
+// optionsPath is the tenant's Options sidecar path.
+func (r *Registry[T]) optionsPath(name string) string {
+	return filepath.Join(r.opts.CheckpointDir, name+optionsExt)
+}
+
+// writeOptionsFile atomically persists a tenant's Options sidecar. Callers
+// hold fileMu.
+func (r *Registry[T]) writeOptionsFile(name string, o Options) error {
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := r.optionsPath(name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // CheckpointAll atomically writes every tenant's current summary to its
@@ -245,11 +355,16 @@ func (r *Registry[T]) CheckpointAll() error {
 		// snapshot above must not get its checkpoint file recreated.
 		r.fileMu.Lock()
 		r.mu.RLock()
-		_, alive := r.tenants[n]
+		o, alive := r.configs[n]
 		r.mu.RUnlock()
 		var err error
 		if alive {
 			err = e.CheckpointFile(r.checkpointPath(n), r.opts.Codec)
+			if err == nil {
+				// Refresh the Options sidecar alongside, healing
+				// checkpoint directories written before sidecars existed.
+				err = r.writeOptionsFile(n, o)
+			}
 		}
 		r.fileMu.Unlock()
 		if err != nil && firstErr == nil {

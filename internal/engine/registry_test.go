@@ -267,3 +267,88 @@ func TestRegistryNoDir(t *testing.T) {
 		t.Fatalf("dir-without-codec err = %v, want ErrConfig", err)
 	}
 }
+
+// TestRegistryOptionsPersistence pins the per-tenant config sidecar: a
+// tenant created with its own Options gets exactly that configuration back
+// after a reboot — stripes, retention, epoch policy — not the registry
+// defaults with a step-adapted SampleSize. A tenant created but never
+// checkpointed survives via its sidecar alone.
+func TestRegistryOptionsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := Options{
+		Config:    core.Config{RunLen: 256, SampleSize: 16, Seed: 7},
+		Stripes:   5,
+		Buckets:   32,
+		Epoch:     EpochPolicy{MaxElems: 4096},
+		Retention: Retention{Kind: RetainLastK, K: 3},
+	}
+	eng, err := r.Create("custom", &custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "custom"+optionsExt)); err != nil {
+		t.Fatalf("options sidecar not written at create: %v", err)
+	}
+	if _, err := r.Create("fresh", nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int64, 2*256)
+	for i := range batch {
+		batch[i] = int64(i)
+	}
+	if err := eng.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// CheckpointAll covers both tenants; dropping "fresh"'s checkpoint
+	// afterwards exercises the sidecar-only restore path.
+	if err := r.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "fresh"+checkpointExt)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2, err := NewRegistry(testRegistryOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, err := r2.TenantOptions("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != custom {
+		t.Errorf("restored options = %+v, want %+v", got, custom)
+	}
+	eng2, err := r2.Get("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.N() != int64(len(batch)) {
+		t.Errorf("restored N = %d, want %d", eng2.N(), len(batch))
+	}
+	if st := eng2.Stats(); st.Stripes != 5 {
+		t.Errorf("restored stripes = %d, want 5", st.Stripes)
+	}
+	// The never-checkpointed tenant survives via its sidecar, empty.
+	freshEng, err := r2.Get("fresh")
+	if err != nil {
+		t.Fatalf("sidecar-only tenant lost on reboot: %v", err)
+	}
+	if freshEng.N() != 0 {
+		t.Errorf("sidecar-only tenant N = %d, want 0", freshEng.N())
+	}
+
+	// Delete removes both files so the tenant stays gone on the next boot.
+	if err := r2.Delete("custom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "custom"+optionsExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("options sidecar survives delete: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"opaq/internal/cluster"
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/engine"
+	"opaq/internal/runio"
+)
+
+// ClusterSweep is an extension experiment beyond the paper's evaluation:
+// it measures the distributed tier end to end over real loopback HTTP —
+// one coordinator scatter-gathering two worker processes' registries —
+// in the two dimensions the tier adds over a single engine: routed
+// binary ingest (coordinator proxies frames to the tenant's owners) and
+// merged quantile queries (per-worker summary fetch + MergeAll per
+// query). Both are wall-clock over real sockets, so both feed the
+// regression gate.
+func ClusterSweep(scale int) (*Table, error) {
+	n := scaleN(2_000_000, scale)
+	const queries = 400
+	const tenant = "bench"
+	codec := runio.Int64Codec{}
+	defaults := engine.Options{
+		Config:  core.Config{RunLen: 1 << 14, SampleSize: 1 << 9, Seed: seqSeed},
+		Stripes: 2,
+	}
+
+	// Two workers: registry + HTTP handler each on a loopback listener.
+	var urls []string
+	var servers []*http.Server
+	var registries []*engine.Registry[int64]
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		for _, reg := range registries {
+			reg.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		// The codec (the registry's wire/checkpoint encoding) enables the
+		// binary ingest path on the worker handler.
+		reg, err := engine.NewRegistry(engine.RegistryOptions[int64]{Defaults: defaults, Codec: codec})
+		if err != nil {
+			return nil, err
+		}
+		registries = append(registries, reg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: engine.NewRegistryHandler(reg, engine.Int64Key, engine.HandlerOptions{})}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	coord, err := cluster.New(cluster.Options[int64]{
+		Workers: urls,
+		Spread:  2,
+		Codec:   codec,
+		Parse:   engine.Int64Key,
+		Client:  &cluster.WorkerClient{HTTP: &http.Client{Timeout: 10 * time.Second}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	servers = append(servers, srv)
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path, contentType string, body []byte) error {
+		resp, err := client.Post(base+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: http %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post("/admin/tenants", "application/json", []byte(`{"name":"`+tenant+`"}`)); err != nil {
+		return nil, err
+	}
+
+	// Routed ingest: run-aligned binary frames through the coordinator,
+	// round-robining across the tenant's two owners.
+	const batch = 1 << 14 // one run per frame
+	xs := datagen.Generate(datagen.NewUniform(seqSeed, 1<<62), n)
+	start := time.Now()
+	var frame []byte
+	for off := 0; off < len(xs); off += batch {
+		end := off + batch
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if frame, err = runio.AppendDataFrame(frame[:0], codec, "", xs[off:end]); err != nil {
+			return nil, err
+		}
+		if err := post("/t/"+tenant+"/ingest", "application/octet-stream", frame); err != nil {
+			return nil, err
+		}
+	}
+	ingestTime := time.Since(start)
+
+	// Scatter-gather queries: each one fetches both owners' summaries and
+	// merges them. Cost is dominated by the two worker round trips plus
+	// the (tiny) merge, independent of n.
+	start = time.Now()
+	for i := 0; i < queries; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/t/%s/quantile?phi=%g", base, tenant, 0.5+float64(i%9-4)/10))
+		if err != nil {
+			return nil, err
+		}
+		var out struct {
+			Partial bool `json:"partial"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if out.Partial {
+			return nil, fmt.Errorf("query %d: partial answer with the whole fleet up", i)
+		}
+	}
+	queryTime := time.Since(start)
+
+	t := &Table{
+		ID:     "Extension: coord",
+		Title:  fmt.Sprintf("Distributed tier wall-clock (1 coordinator + 2 workers over loopback HTTP, n=%s, spread 2)", humanN(n)),
+		Header: []string{"Path", "time", "throughput"},
+		Notes: []string{
+			"ingest: run-aligned binary frames proxied to the owning workers",
+			fmt.Sprintf("queries: %d merged quantile lookups, each a 2-worker summary scatter-gather", queries),
+		},
+	}
+	t.AddRow("ingest", ingestTime.Round(time.Millisecond).String(),
+		fmt.Sprintf("%s elems/s", humanN(int(float64(n)/ingestTime.Seconds()))))
+	t.AddRow("scatter-gather", queryTime.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.0f queries/s", float64(queries)/queryTime.Seconds()))
+	t.AddMetric("coord/ingest/elems_per_sec", float64(n)/ingestTime.Seconds(), "elems/sec", "higher", true)
+	t.AddMetric("coord/scatter_gather/queries_per_sec", float64(queries)/queryTime.Seconds(), "queries/sec", "higher", true)
+	return t, nil
+}

@@ -353,6 +353,7 @@ func All() map[string]func(scale int) (*Table, error) {
 		"split":    AblationSplit,
 		"workers":  WorkerSweep,
 		"sharded":  ShardSweep,
+		"coord":    ClusterSweep,
 		"engine":   EngineSweep,
 		"compact":  CompactionSweep,
 		"ingest":   IngestSweep,
@@ -364,7 +365,7 @@ func All() map[string]func(scale int) (*Table, error) {
 var Order = []string{
 	"table3", "table4", "table5", "table6", "table7",
 	"figure3", "table9", "table10", "table11", "table12",
-	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "engine", "compact", "snapshot", "ingest",
+	"figure4", "figure5", "figure6", "overlap", "split", "workers", "sharded", "coord", "engine", "compact", "snapshot", "ingest",
 }
 
 // FigureOverlap is an extension experiment beyond the paper's evaluation:

@@ -1,0 +1,633 @@
+package parallel
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opaq/internal/runio"
+)
+
+// netMachine is the third Transport implementation: p ranks connected by a
+// full mesh of real TCP connections speaking the runio frame format — the
+// same CRC-checked header and payload discipline as the binary ingest
+// path, extended with three control frame types (xfer for Send/Recv
+// payloads, barrier, hello for the mesh handshake). The algorithms of
+// algo.go run over it unchanged, so a sharded build's global merge moves
+// its sample lists over sockets exactly as it would between machines; the
+// summaries stay byte-identical to the sequential build (tests enforce
+// this alongside the in-process and simulated transports).
+//
+// Mesh shape: every rank owns one listener; rank j dials every rank i < j
+// and opens the connection with a hello frame naming itself, so each pair
+// shares exactly one connection with a deterministic direction. A reader
+// goroutine per connection demultiplexes frames into per-peer queues
+// (xfer payloads) and barrier tokens; writes only ever happen from the
+// rank's own goroutine, so connections need no write lock.
+//
+// Failure semantics mirror realMachine: the first rank to error aborts
+// the machine, closing the abort channel (and the sockets), so no peer
+// stays blocked in Recv, Barrier or Accept.
+type netMachine[T cmp.Ordered] struct {
+	p     int
+	codec runio.Codec[T]
+
+	listeners []net.Listener
+	addrs     []string
+
+	abort chan struct{}
+	once  sync.Once
+	cause atomic.Pointer[error]
+	// done marks a completed Run: reader goroutines treat connection
+	// teardown after it as a clean shutdown, not a peer failure.
+	done atomic.Bool
+}
+
+// netMaxFramePayload bounds one transport frame: global merges move whole
+// sample blocks, which can far exceed an ingest batch.
+const netMaxFramePayload = 256 << 20
+
+// Transport payload tags inside xfer frames. The three shapes are exactly
+// the payloads algo.go moves: sample blocks ([]T), bitonic control
+// metadata (blockMeta[T]) and AllGather's re-broadcast vector ([]any of
+// the former two).
+const (
+	netTagElems   = 1
+	netTagMeta    = 2
+	netTagVector  = 3
+	netHelloMagic = 0x4f50 // "OP", sanity word opening a hello payload
+)
+
+func newNetMachine[T cmp.Ordered](p int, codec runio.Codec[T]) (*netMachine[T], error) {
+	if p < 1 {
+		return nil, fmt.Errorf("parallel: need at least one rank, got %d", p)
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("parallel: network transport needs a codec")
+	}
+	m := &netMachine[T]{p: p, codec: codec, abort: make(chan struct{})}
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.closeListeners()
+			return nil, fmt.Errorf("parallel: rank %d listener: %w", i, err)
+		}
+		m.listeners = append(m.listeners, ln)
+		m.addrs = append(m.addrs, ln.Addr().String())
+	}
+	return m, nil
+}
+
+func (m *netMachine[T]) closeListeners() {
+	for _, ln := range m.listeners {
+		ln.Close()
+	}
+}
+
+// fail aborts the machine: first cause wins, every blocked primitive
+// unblocks. Closing the listeners releases ranks parked in Accept during
+// mesh establishment.
+func (m *netMachine[T]) fail(err error) {
+	m.once.Do(func() {
+		if err != nil {
+			m.cause.Store(&err)
+		}
+		close(m.abort)
+		m.closeListeners()
+	})
+}
+
+func (m *netMachine[T]) aborted() bool {
+	select {
+	case <-m.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes f as an SPMD program, one goroutine per rank, each rank
+// first joining the TCP mesh. Like realMachine.Run, the first error any
+// rank produced is returned (joined with any reader-side root cause).
+func (m *netMachine[T]) Run(f func(tr Transport) error) error {
+	errs := make([]error, m.p)
+	procs := make([]*netProc[T], m.p)
+	var wg sync.WaitGroup
+	for i := 0; i < m.p; i++ {
+		procs[i] = newNetProc(i, m)
+	}
+	for i := 0; i < m.p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("parallel: rank %d panicked: %v", i, r)
+					m.fail(errs[i])
+				}
+			}()
+			p := procs[i]
+			if err := p.connect(); err != nil {
+				errs[i] = err
+				m.fail(err)
+				return
+			}
+			errs[i] = f(p)
+			if errs[i] != nil {
+				m.fail(errs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Orderly teardown: mark done so readers treat the closes as clean,
+	// then drop every socket and wait the readers out.
+	m.done.Store(true)
+	m.closeListeners()
+	for _, p := range procs {
+		p.closeConns()
+	}
+	for _, p := range procs {
+		p.readers.Wait()
+	}
+	var roots []error
+	if c := m.cause.Load(); c != nil {
+		roots = append(roots, *c)
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			roots = append(roots, err)
+		}
+	}
+	if len(roots) > 0 {
+		return errors.Join(dedupErrors(roots)...)
+	}
+	return errors.Join(errs...)
+}
+
+// dedupErrors drops exact duplicates (the aborting rank's error is both a
+// rank error and the recorded cause).
+func dedupErrors(errs []error) []error {
+	out := errs[:0]
+	for i, err := range errs {
+		dup := false
+		for _, prev := range errs[:i] {
+			if errors.Is(prev, err) || prev.Error() == err.Error() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// netProc is one rank of a netMachine.
+type netProc[T cmp.Ordered] struct {
+	id int
+	m  *netMachine[T]
+
+	conns   []net.Conn // per peer; nil at self
+	readers sync.WaitGroup
+
+	// Per-peer receive queues, filled by the reader goroutines. Buffered
+	// like realMachine's channels so symmetric exchanges cannot deadlock;
+	// a full queue backpressures the TCP stream, not the algorithm.
+	xferq []chan any
+	barq  []chan struct{}
+
+	frame []byte // write-side scratch, reused per frame
+}
+
+func newNetProc[T cmp.Ordered](id int, m *netMachine[T]) *netProc[T] {
+	p := &netProc[T]{id: id, m: m, conns: make([]net.Conn, m.p)}
+	p.xferq = make([]chan any, m.p)
+	p.barq = make([]chan struct{}, m.p)
+	for i := 0; i < m.p; i++ {
+		if i == id {
+			continue
+		}
+		p.xferq[i] = make(chan any, 8)
+		p.barq[i] = make(chan struct{}, 2)
+	}
+	return p
+}
+
+// connect joins the mesh: dial every lower rank (sending hello), then
+// accept one connection from every higher rank (reading hello). Listeners
+// exist before any rank runs, so the dials land in listen backlogs even
+// before the peer reaches Accept.
+func (p *netProc[T]) connect() error {
+	m := p.m
+	for peer := 0; peer < p.id; peer++ {
+		conn, err := net.Dial("tcp", m.addrs[peer])
+		if err != nil {
+			return fmt.Errorf("parallel: rank %d dialing rank %d: %w", p.id, peer, err)
+		}
+		p.conns[peer] = conn
+		if err := p.writeFrame(conn, runio.FrameHello, p.helloPayload()); err != nil {
+			return fmt.Errorf("parallel: rank %d hello to rank %d: %w", p.id, peer, err)
+		}
+	}
+	for n := p.id + 1; n < m.p; n++ {
+		conn, err := m.listeners[p.id].Accept()
+		if err != nil {
+			if m.aborted() {
+				return errAborted
+			}
+			return fmt.Errorf("parallel: rank %d accept: %w", p.id, err)
+		}
+		peer, err := p.readHello(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("parallel: rank %d handshake: %w", p.id, err)
+		}
+		if peer <= p.id || peer >= m.p || p.conns[peer] != nil {
+			conn.Close()
+			return fmt.Errorf("parallel: rank %d got hello from unexpected rank %d", p.id, peer)
+		}
+		p.conns[peer] = conn
+	}
+	for peer, conn := range p.conns {
+		if conn == nil {
+			continue
+		}
+		p.readers.Add(1)
+		go p.readLoop(peer, conn)
+	}
+	return nil
+}
+
+// helloPayload identifies this rank and pins the mesh shape: magic, rank,
+// mesh size, codec kind.
+func (p *netProc[T]) helloPayload() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint16(b[0:], netHelloMagic)
+	binary.LittleEndian.PutUint16(b[2:], uint16(p.id))
+	binary.LittleEndian.PutUint16(b[4:], uint16(p.m.p))
+	binary.LittleEndian.PutUint16(b[6:], p.m.codec.Kind())
+	return b[:]
+}
+
+// readHello validates a dialer's opening frame and returns its rank.
+func (p *netProc[T]) readHello(conn net.Conn) (int, error) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	h, err := runio.ReadFrameHeader(conn, netMaxFramePayload)
+	if err != nil {
+		return 0, err
+	}
+	if h.Type != runio.FrameHello {
+		return 0, fmt.Errorf("expected hello frame, got type %d", h.Type)
+	}
+	payload, err := runio.ReadFramePayload(conn, h, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 || binary.LittleEndian.Uint16(payload[0:]) != netHelloMagic {
+		return 0, fmt.Errorf("malformed hello payload")
+	}
+	rank := int(binary.LittleEndian.Uint16(payload[2:]))
+	if meshP := int(binary.LittleEndian.Uint16(payload[4:])); meshP != p.m.p {
+		return 0, fmt.Errorf("peer rank %d built for a %d-rank mesh, this mesh has %d", rank, meshP, p.m.p)
+	}
+	if kind := binary.LittleEndian.Uint16(payload[6:]); kind != p.m.codec.Kind() {
+		return 0, fmt.Errorf("peer rank %d uses codec kind %d, this mesh uses %d", rank, kind, p.m.codec.Kind())
+	}
+	return rank, nil
+}
+
+// readLoop demultiplexes one connection: xfer frames into the peer's
+// payload queue, barrier frames into its barrier queue. A framing error
+// before the machine is done aborts everyone — framing is lost, the merge
+// cannot be trusted.
+func (p *netProc[T]) readLoop(from int, conn net.Conn) {
+	defer p.readers.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		h, err := runio.ReadFrameHeader(br, netMaxFramePayload)
+		if err != nil {
+			p.readerExit(from, err)
+			return
+		}
+		buf, err = runio.ReadFramePayload(br, h, buf)
+		if err != nil {
+			p.readerExit(from, err)
+			return
+		}
+		switch h.Type {
+		case runio.FrameXfer:
+			v, err := decodePayload[T](p.m.codec, buf)
+			if err != nil {
+				p.readerExit(from, err)
+				return
+			}
+			select {
+			case p.xferq[from] <- v:
+			case <-p.m.abort:
+				return
+			}
+		case runio.FrameBarrier:
+			select {
+			case p.barq[from] <- struct{}{}:
+			case <-p.m.abort:
+				return
+			}
+		default:
+			p.readerExit(from, fmt.Errorf("%w: unexpected frame type %d on mesh connection", runio.ErrFrame, h.Type))
+			return
+		}
+	}
+}
+
+// readerExit classifies a reader's termination: silence on clean shutdown
+// or an already-aborted machine, machine failure otherwise.
+func (p *netProc[T]) readerExit(from int, err error) {
+	if p.m.done.Load() || p.m.aborted() {
+		return
+	}
+	if err == io.EOF {
+		// A peer hung up mid-run: its rank failed; let its own error be
+		// the root cause, this rank just unblocks.
+		p.m.fail(fmt.Errorf("parallel: rank %d lost connection to rank %d: %w", p.id, from, err))
+		return
+	}
+	p.m.fail(fmt.Errorf("parallel: rank %d reading from rank %d: %w", p.id, from, err))
+}
+
+func (p *netProc[T]) closeConns() {
+	for _, conn := range p.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// writeFrame seals and writes one frame; the scratch buffer is reused so a
+// steady-state rank allocates nothing per message beyond payload growth.
+func (p *netProc[T]) writeFrame(conn net.Conn, typ runio.FrameType, payload []byte) error {
+	p.frame = runio.AppendRawFrame(p.frame[:0], typ, p.m.codec.Kind(), payload)
+	_, err := conn.Write(p.frame)
+	return err
+}
+
+// encodePayload appends the tagged wire form of one transport payload.
+func encodePayload[T cmp.Ordered](codec runio.Codec[T], dst []byte, payload any) ([]byte, error) {
+	switch v := payload.(type) {
+	case []T:
+		dst = append(dst, netTagElems)
+		if bulk, ok := codec.(runio.BulkCodec[T]); ok {
+			dst = bulk.AppendElems(dst, v)
+		} else {
+			size := codec.Size()
+			for _, x := range v {
+				off := len(dst)
+				dst = append(dst, make([]byte, size)...)
+				codec.Encode(dst[off:], x)
+			}
+		}
+		return dst, nil
+	case blockMeta[T]:
+		dst = append(dst, netTagMeta)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.n))
+		off := len(dst)
+		dst = append(dst, make([]byte, codec.Size())...)
+		codec.Encode(dst[off:], v.max)
+		return dst, nil
+	case []any:
+		dst = append(dst, netTagVector)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+		for _, item := range v {
+			// Length-prefixed recursive encoding; vectors never nest.
+			lenAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0)
+			var err error
+			dst, err = encodePayload(codec, dst, item)
+			if err != nil {
+				return dst, err
+			}
+			binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("parallel: network transport cannot encode %T", payload)
+	}
+}
+
+// decodePayload is encodePayload's inverse; it always copies out of buf so
+// the reader's scratch buffer can be reused.
+func decodePayload[T cmp.Ordered](codec runio.Codec[T], buf []byte) (any, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("%w: empty transport payload", runio.ErrFrame)
+	}
+	tag, body := buf[0], buf[1:]
+	switch tag {
+	case netTagElems:
+		size := codec.Size()
+		if len(body)%size != 0 {
+			return nil, fmt.Errorf("%w: %d element bytes not a multiple of %d", runio.ErrFrame, len(body), size)
+		}
+		out := make([]T, 0, len(body)/size)
+		return runio.DecodeFrameElems(codec, body, out)
+	case netTagMeta:
+		size := codec.Size()
+		if len(body) != 8+size {
+			return nil, fmt.Errorf("%w: blockMeta payload %d bytes, want %d", runio.ErrFrame, len(body), 8+size)
+		}
+		return blockMeta[T]{
+			n:   int(int64(binary.LittleEndian.Uint64(body))),
+			max: codec.Decode(body[8:]),
+		}, nil
+	case netTagVector:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: short vector payload", runio.ErrFrame)
+		}
+		count := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		out := make([]any, 0, count)
+		for i := 0; i < count; i++ {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("%w: vector item %d missing length", runio.ErrFrame, i)
+			}
+			n := int(binary.LittleEndian.Uint32(body))
+			body = body[4:]
+			if len(body) < n {
+				return nil, fmt.Errorf("%w: vector item %d truncated", runio.ErrFrame, i)
+			}
+			item, err := decodePayload[T](codec, body[:n])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			body = body[n:]
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes after vector", runio.ErrFrame, len(body))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown transport payload tag %d", runio.ErrFrame, tag)
+	}
+}
+
+// ID implements Transport.
+func (p *netProc[T]) ID() int { return p.id }
+
+// P implements Transport.
+func (p *netProc[T]) P() int { return p.m.p }
+
+// Compute implements Transport; the network machine has no cost model.
+func (p *netProc[T]) Compute(int64) {}
+
+// Charge implements Transport; the network machine has no cost model.
+func (p *netProc[T]) Charge(time.Duration) {}
+
+// Clock implements Transport; only wall-clock time passes.
+func (p *netProc[T]) Clock() time.Duration { return 0 }
+
+// Send implements Transport: one xfer frame down the peer's connection.
+// words is ignored (no cost model); the payload length is what it is.
+func (p *netProc[T]) Send(to int, _ int64, payload any) error {
+	if to < 0 || to >= p.m.p {
+		return fmt.Errorf("parallel: send to rank %d of %d", to, p.m.p)
+	}
+	if to == p.id {
+		return fmt.Errorf("parallel: self-send on rank %d", p.id)
+	}
+	if p.m.aborted() {
+		return errAborted
+	}
+	body, err := encodePayload(p.m.codec, nil, payload)
+	if err != nil {
+		return err
+	}
+	if len(body) > netMaxFramePayload {
+		return fmt.Errorf("parallel: %d-byte payload exceeds frame bound %d", len(body), netMaxFramePayload)
+	}
+	if err := p.writeFrame(p.conns[to], runio.FrameXfer, body); err != nil {
+		if p.m.aborted() {
+			return errAborted
+		}
+		return fmt.Errorf("parallel: rank %d send to rank %d: %w", p.id, to, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (p *netProc[T]) Recv(from int) (any, error) {
+	if from < 0 || from >= p.m.p {
+		return nil, fmt.Errorf("parallel: recv from rank %d of %d", from, p.m.p)
+	}
+	if from == p.id {
+		return nil, fmt.Errorf("parallel: self-recv on rank %d", p.id)
+	}
+	select {
+	case v := <-p.xferq[from]:
+		return v, nil
+	case <-p.m.abort:
+		// Drain a payload that raced with the abort, like realProc.
+		select {
+		case v := <-p.xferq[from]:
+			return v, nil
+		default:
+			return nil, errAborted
+		}
+	}
+}
+
+// Exchange implements Transport.
+func (p *netProc[T]) Exchange(partner int, words int64, payload any) (any, error) {
+	if err := p.Send(partner, words, payload); err != nil {
+		return nil, err
+	}
+	return p.Recv(partner)
+}
+
+// Barrier implements Transport: centralized on rank 0 over barrier
+// frames — every rank reports arrival to rank 0, which releases them all.
+// Two messages per rank, same deterministic shape on every run.
+func (p *netProc[T]) Barrier() error {
+	if p.m.p == 1 {
+		return nil
+	}
+	if p.m.aborted() {
+		return errAborted
+	}
+	if p.id != 0 {
+		if err := p.writeFrame(p.conns[0], runio.FrameBarrier, nil); err != nil {
+			if p.m.aborted() {
+				return errAborted
+			}
+			return fmt.Errorf("parallel: rank %d barrier arrival: %w", p.id, err)
+		}
+		return p.waitBarrier(0)
+	}
+	for r := 1; r < p.m.p; r++ {
+		if err := p.waitBarrier(r); err != nil {
+			return err
+		}
+	}
+	for r := 1; r < p.m.p; r++ {
+		if err := p.writeFrame(p.conns[r], runio.FrameBarrier, nil); err != nil {
+			if p.m.aborted() {
+				return errAborted
+			}
+			return fmt.Errorf("parallel: rank 0 barrier release to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+func (p *netProc[T]) waitBarrier(from int) error {
+	select {
+	case <-p.barq[from]:
+		return nil
+	case <-p.m.abort:
+		return errAborted
+	}
+}
+
+// AllGather implements Transport with the same deterministic shape as the
+// other machines: every rank sends to rank 0, which re-broadcasts the
+// gathered vector.
+func (p *netProc[T]) AllGather(words int64, payload any) ([]any, error) {
+	if p.m.p == 1 {
+		return []any{payload}, nil
+	}
+	if p.id != 0 {
+		if err := p.Send(0, words, payload); err != nil {
+			return nil, err
+		}
+		v, err := p.Recv(0)
+		if err != nil {
+			return nil, err
+		}
+		return v.([]any), nil
+	}
+	all := make([]any, p.m.p)
+	all[0] = payload
+	for r := 1; r < p.m.p; r++ {
+		v, err := p.Recv(r)
+		if err != nil {
+			return nil, err
+		}
+		all[r] = v
+	}
+	for r := 1; r < p.m.p; r++ {
+		if err := p.Send(r, words*int64(p.m.p), all); err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+var _ Transport = (*netProc[int64])(nil)

@@ -1,0 +1,224 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"opaq/internal/core"
+	"opaq/internal/datagen"
+	"opaq/internal/runio"
+)
+
+// The TCP mesh moves every payload shape algo.go uses — element blocks,
+// block metadata, AllGather vectors — and the primitives behave like the
+// in-process transport: ordered per-peer delivery, symmetric Exchange,
+// rendezvous Barrier, rank-0-shaped AllGather.
+func TestNetTransportPrimitives(t *testing.T) {
+	const p = 4
+	m, err := newNetMachine[int64](p, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gathered := make([][]any, p)
+	err = m.Run(func(tr Transport) error {
+		id := tr.ID()
+		if tr.P() != p {
+			return fmt.Errorf("P() = %d, want %d", tr.P(), p)
+		}
+
+		// Ring Send/Recv of element blocks: ordered, content-preserving.
+		next, prev := (id+1)%p, (id+p-1)%p
+		block := []int64{int64(id) * 100, int64(id)*100 + 1}
+		if err := tr.Send(next, 2, block); err != nil {
+			return err
+		}
+		v, err := tr.Recv(prev)
+		if err != nil {
+			return err
+		}
+		got, ok := v.([]int64)
+		if !ok || !reflect.DeepEqual(got, []int64{int64(prev) * 100, int64(prev)*100 + 1}) {
+			return fmt.Errorf("rank %d ring recv = %#v", id, v)
+		}
+
+		// Exchange of blockMeta with an XOR partner (the bitonic pattern).
+		partner := id ^ 1
+		meta := blockMeta[int64]{n: id + 1, max: int64(id) * 7}
+		mv, err := tr.Exchange(partner, 2, meta)
+		if err != nil {
+			return err
+		}
+		gotMeta, ok := mv.(blockMeta[int64])
+		if !ok || gotMeta.n != partner+1 || gotMeta.max != int64(partner)*7 {
+			return fmt.Errorf("rank %d exchange = %#v", id, mv)
+		}
+
+		if err := tr.Barrier(); err != nil {
+			return err
+		}
+
+		// AllGather of per-rank blocks; every rank sees the same vector.
+		all, err := tr.AllGather(1, []int64{int64(id)})
+		if err != nil {
+			return err
+		}
+		gathered[id] = all
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, all := range gathered {
+		if len(all) != p {
+			t.Fatalf("rank %d gathered %d entries", id, len(all))
+		}
+		for r, v := range all {
+			if got, ok := v.([]int64); !ok || len(got) != 1 || got[0] != int64(r) {
+				t.Errorf("rank %d slot %d = %#v", id, r, v)
+			}
+		}
+	}
+}
+
+// A failing rank aborts the machine: peers blocked in Recv/Barrier unblock
+// with errAborted, and Run reports the root cause, not the avalanche.
+func TestNetTransportAbort(t *testing.T) {
+	const p = 3
+	m, err := newNetMachine[int64](p, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rank 1 exploded")
+	err = m.Run(func(tr Transport) error {
+		switch tr.ID() {
+		case 1:
+			return boom
+		default:
+			// Would block forever without abort propagation.
+			if _, err := tr.Recv(1); !errors.Is(err, errAborted) {
+				return fmt.Errorf("recv after abort: %v", err)
+			}
+			if err := tr.Barrier(); !errors.Is(err, errAborted) {
+				return fmt.Errorf("barrier after abort: %v", err)
+			}
+			return errAborted
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want the root cause %v", err, boom)
+	}
+}
+
+// The tagged payload codec round-trips every shape, including one level of
+// vector nesting, and rejects malformed bytes instead of panicking.
+func TestNetPayloadCodec(t *testing.T) {
+	codec := runio.Int64Codec{}
+	payloads := []any{
+		[]int64{},
+		[]int64{1, -2, 3},
+		blockMeta[int64]{n: 0, max: 0},
+		blockMeta[int64]{n: 42, max: -7},
+		[]any{[]int64{1, 2}, blockMeta[int64]{n: 3, max: 9}, []int64{}},
+	}
+	for _, want := range payloads {
+		buf, err := encodePayload(codec, nil, want)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", want, err)
+		}
+		got, err := decodePayload[int64](codec, buf)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %#v -> %#v", want, got)
+		}
+	}
+
+	if _, err := encodePayload(codec, nil, "not a payload"); err == nil {
+		t.Error("encoding an unsupported type should fail")
+	}
+	bad := [][]byte{
+		nil,                                    // empty
+		{99},                                   // unknown tag
+		{netTagElems, 1, 2, 3},                 // ragged element bytes
+		{netTagMeta, 1, 2},                     // short meta
+		{netTagVector, 1},                      // short vector header
+		{netTagVector, 2, 0, 0, 0, 1, 0, 0, 0}, // truncated items
+	}
+	for _, buf := range bad {
+		if _, err := decodePayload[int64](codec, buf); err == nil {
+			t.Errorf("decoding % x should fail", buf)
+		}
+	}
+}
+
+// A single-rank mesh degenerates cleanly (no sockets needed beyond the
+// listener): Barrier and AllGather are local no-ops.
+func TestNetTransportSingleRank(t *testing.T) {
+	m, err := newNetMachine[int64](1, runio.Int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(func(tr Transport) error {
+		if err := tr.Barrier(); err != nil {
+			return err
+		}
+		all, err := tr.AllGather(1, []int64{7})
+		if err != nil {
+			return err
+		}
+		if len(all) != 1 {
+			return fmt.Errorf("gathered %d entries", len(all))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full sharded build over the TCP mesh with the float64 codec stays
+// byte-identical to the sequential build — the transport is type-generic
+// through CodecFor, not special-cased to int64.
+func TestBuildShardedTCPFloat64(t *testing.T) {
+	const runLen = 256
+	cfg := core.Config{RunLen: runLen, SampleSize: 32}
+	xs := make([]float64, 8*runLen)
+	g := datagen.NewNormal(11, 0, 1e6)
+	for i := range xs {
+		xs[i] = float64(g.Next()) / 1e3
+	}
+	seq, err := core.BuildFromSlice(xs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces, err := ShardSlices(xs, 4, runLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := make([]runio.Dataset[float64], len(pieces))
+	for i, p := range pieces {
+		datasets[i] = runio.NewMemoryDataset(p, 8)
+	}
+	got, err := BuildSharded(datasets, cfg, ShardOptions{Merge: SampleMerge, Transport: TransportTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryBytes(t, got), summaryBytes(t, seq)) {
+		t.Error("TCP float64 sharded summary differs from sequential build")
+	}
+}
+
+// Element types without a runio codec are rejected up front, not at the
+// first Send.
+func TestBuildShardedTCPUnsupportedType(t *testing.T) {
+	cfg := core.Config{RunLen: 100, SampleSize: 10}
+	ds := []runio.Dataset[string]{runio.NewMemoryDataset([]string{"a", "b"}, 8)}
+	_, err := BuildSharded(ds, cfg, ShardOptions{Transport: TransportTCP})
+	if !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("err = %v, want ErrConfig", err)
+	}
+}

@@ -44,9 +44,10 @@ func shardDatasets(xs []int64, shards, runLen int, t *testing.T) []runio.Dataset
 }
 
 // The engine's determinism contract: the summary bytes are identical across
-// shard counts 1/2/3/8, both merge algorithms, and both transports (the
-// real in-process engine via BuildSharded and the simulated machine via
-// Run), always matching the sequential build over the concatenated data.
+// shard counts 1/2/3/8, both merge algorithms, and all three transports
+// (the real in-process engine via BuildSharded, the loopback TCP mesh via
+// BuildSharded with TransportTCP, and the simulated machine via Run),
+// always matching the sequential build over the concatenated data.
 func TestShardDeterminismAcrossCountsAlgosTransports(t *testing.T) {
 	const runLen, sampleSize = 500, 50
 	cfg := core.Config{RunLen: runLen, SampleSize: sampleSize, Seed: 42}
@@ -73,6 +74,16 @@ func TestShardDeterminismAcrossCountsAlgosTransports(t *testing.T) {
 			}
 			if !bytes.Equal(summaryBytes(t, got), want) {
 				t.Errorf("%s: real-transport summary bytes differ from sequential build", name)
+			}
+
+			// Network transport: every exchange over a loopback TCP mesh.
+			got, err = BuildSharded(shardDatasets(xs, shards, runLen, t), cfg,
+				ShardOptions{Shards: shards, Merge: algo, Transport: TransportTCP})
+			if err != nil {
+				t.Fatalf("%s: BuildSharded(TCP): %v", name, err)
+			}
+			if !bytes.Equal(summaryBytes(t, got), want) {
+				t.Errorf("%s: TCP-transport summary bytes differ from sequential build", name)
 			}
 
 			// Simulated transport over the same run-aligned shards.
