@@ -37,6 +37,8 @@ func cmdCoord(args []string) error {
 	backoff := fs.Duration("backoff", 0, "initial retry backoff, doubling per attempt (0 = 50ms)")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request worker timeout")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	cacheBytes := fs.Int64("gather-cache", cluster.DefaultGatherCacheBytes,
+		"gather-cache byte budget for cached worker summaries (0 disables the query fast path)")
 	fs.Parse(args)
 
 	if *workers == "" {
@@ -56,14 +58,19 @@ func cmdCoord(args []string) error {
 		Parse:        engine.Int64Key,
 		Buckets:      *buckets,
 		Client: &cluster.WorkerClient{
-			HTTP:     &http.Client{Timeout: *timeout},
+			// The pooled transport keeps worker connections warm across
+			// the scatter-gather fan-out instead of redialing per query.
+			HTTP:     cluster.NewWorkerHTTPClient(*timeout),
 			Attempts: *attempts,
 			Backoff:  *backoff,
 		},
+		GatherCacheBytes:   *cacheBytes,
+		DisableGatherCache: *cacheBytes == 0,
 	})
 	if err != nil {
 		return err
 	}
+	defer coord.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -86,6 +93,12 @@ func cmdCoord(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			// The drain timed out — likely handlers pinned in retry loops
+			// against dead workers. Cancel the coordinator's lifetime
+			// context to abort their backoffs, then close the listener
+			// hard; shutdown must not hang on an unreachable fleet.
+			coord.Close()
+			srv.Close()
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
 		fmt.Println("opaq: coordinator shutdown complete")

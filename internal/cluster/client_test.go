@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerClientHonorsContext is the retry-backoff regression test: a
+// canceled context must abort the retry loop — including mid-backoff —
+// instead of sleeping out the full schedule, so a draining coordinator
+// is never pinned by requests to a dead worker.
+func TestWorkerClientHonorsContext(t *testing.T) {
+	// An address nothing listens on: every attempt fails at transport
+	// level, which is what drives the backoff path.
+	const deadURL = "http://127.0.0.1:1/t/x/summary"
+	c := &WorkerClient{Attempts: 5, Backoff: 30 * time.Second}
+
+	// Pre-canceled: not a single backoff tick may elapse.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.Do(ctx, http.MethodGet, deadURL, "", nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Do error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-canceled Do took %v", elapsed)
+	}
+
+	// Canceled mid-backoff: with a 30s first backoff, only the context
+	// can unblock the call this fast.
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start = time.Now()
+	_, _, err := c.GetBody(ctx, deadURL)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-backoff GetBody error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("mid-backoff cancellation took %v, backoff slept through it", elapsed)
+	}
+}
+
+// TestWorkerClientConditionalGet pins the GetBodyTag protocol: the tag
+// travels as If-None-Match, a 304 comes back tagged and bodyless, and a
+// changed resource answers 200 with the fresh tag.
+func TestWorkerClientConditionalGet(t *testing.T) {
+	var current atomic.Value
+	current.Store(`"v1"`)
+	var conditional atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		etag := current.Load().(string)
+		w.Header().Set("ETag", etag)
+		if got := r.Header.Get("If-None-Match"); got != "" {
+			conditional.Add(1)
+			if got == etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		w.Write([]byte("body-" + etag))
+	}))
+	defer srv.Close()
+
+	c := &WorkerClient{}
+	ctx := context.Background()
+	status, body, etag, err := c.GetBodyTag(ctx, srv.URL, "")
+	if err != nil || status != http.StatusOK || etag != `"v1"` || string(body) != `body-"v1"` {
+		t.Fatalf("cold fetch: status %d etag %q body %q err %v", status, etag, body, err)
+	}
+	status, body, etag, err = c.GetBodyTag(ctx, srv.URL, etag)
+	if err != nil || status != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("warm fetch: status %d body %q err %v, want bodyless 304", status, body, err)
+	}
+	if etag != `"v1"` {
+		t.Fatalf("304 etag %q", etag)
+	}
+	current.Store(`"v2"`)
+	status, body, etag, err = c.GetBodyTag(ctx, srv.URL, `"v1"`)
+	if err != nil || status != http.StatusOK || etag != `"v2"` || string(body) != `body-"v2"` {
+		t.Fatalf("invalidated fetch: status %d etag %q body %q err %v", status, etag, body, err)
+	}
+	if conditional.Load() != 2 {
+		t.Fatalf("server saw %d conditional requests, want 2", conditional.Load())
+	}
+}

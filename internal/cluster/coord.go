@@ -3,6 +3,9 @@ package cluster
 import (
 	"bytes"
 	"cmp"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +13,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -61,8 +65,18 @@ type Options[T cmp.Ordered] struct {
 	// answers over merged summaries (0 = engine.DefaultBuckets).
 	Buckets int
 	// Client is the worker HTTP client; nil uses defaults (3 attempts,
-	// 50ms doubling backoff, 5s timeout).
+	// 50ms doubling backoff, 5s timeout, pooled keep-alive transport).
 	Client *WorkerClient
+	// GatherCacheBytes bounds the gather cache's resident summaries
+	// (0 = DefaultGatherCacheBytes). Least-recently-queried tenants are
+	// evicted past the budget.
+	GatherCacheBytes int64
+	// DisableGatherCache turns the query fast path off entirely — no
+	// per-owner summary cache, no merged-summary reuse, no singleflight
+	// coalescing. Every query then re-fetches and re-merges from scratch,
+	// which is the reference behavior the cache-equivalence harness
+	// shadows against.
+	DisableGatherCache bool
 }
 
 // Coordinator scatter-gathers a worker fleet behind the engine's HTTP
@@ -73,6 +87,31 @@ type Coordinator[T cmp.Ordered] struct {
 	client  *WorkerClient
 	buckets int
 	rr      sync.Map // tenant name -> *atomic.Uint64 ingest cursor
+
+	// ctx is the coordinator's lifetime: every fan-out runs under a
+	// context that dies with it, so Close unblocks retry backoffs against
+	// dead workers and a draining server is never pinned.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// cache is the gather fast path (nil when disabled); flights
+	// coalesces concurrent gathers per tenant.
+	cache    *gatherCache[T]
+	flightMu sync.Mutex
+	flights  map[string]*flight[T]
+
+	// Fast-path counters, surfaced on /stats and /healthz.
+	gatherHits   atomic.Int64 // merged summary reused, MergeAll skipped
+	gatherMisses atomic.Int64 // gathers that ran MergeAll
+	gather304s   atomic.Int64 // per-owner conditional fetches answered 304
+	gatherShared atomic.Int64 // queries that rode another query's gather
+}
+
+// flight is one in-progress gather, shared by coalesced queries.
+type flight[T cmp.Ordered] struct {
+	done chan struct{}
+	g    *gathered[T]
+	err  error
 }
 
 // New validates the options and builds the ring.
@@ -101,7 +140,36 @@ func New[T cmp.Ordered](opts Options[T]) (*Coordinator[T], error) {
 	if client == nil {
 		client = &WorkerClient{}
 	}
-	return &Coordinator[T]{opts: opts, ring: ring, client: client, buckets: buckets}, nil
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator[T]{
+		opts:    opts,
+		ring:    ring,
+		client:  client,
+		buckets: buckets,
+		ctx:     ctx,
+		cancel:  cancel,
+		flights: map[string]*flight[T]{},
+	}
+	if !opts.DisableGatherCache {
+		c.cache = newGatherCache[T](opts.GatherCacheBytes)
+	}
+	return c, nil
+}
+
+// Close cancels the coordinator's lifetime context, aborting in-flight
+// fan-outs and their retry backoffs — call it when a graceful drain
+// times out so handlers stuck retrying dead workers unblock instead of
+// pinning shutdown. Safe to call more than once; the coordinator must
+// not serve new requests afterwards.
+func (c *Coordinator[T]) Close() { c.cancel() }
+
+// reqCtx derives a fan-out context that dies with either the request or
+// the coordinator, so both a hung-up client and a shutdown unblock the
+// handler.
+func (c *Coordinator[T]) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(c.ctx, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 // Owners returns the tenant's owner set in failover preference order.
@@ -151,7 +219,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeErr maps coordinator errors onto statuses, extending the engine
 // handler's mapping with the fleet-level outcomes: every owner down is
-// 503 (outage), a protocol-breaking worker is 502 (bad gateway).
+// 503 (outage), a protocol-breaking worker is 502 (bad gateway), and a
+// context killed by shutdown or a gone client is 503.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -162,7 +231,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrPhi), errors.Is(err, errBadGather),
 		errors.Is(err, engine.ErrTenantName), errors.Is(err, core.ErrConfig):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrNoSurvivors):
+	case errors.Is(err, ErrNoSurvivors),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, errBadWorker):
 		status = http.StatusBadGateway
@@ -178,6 +248,8 @@ func writeErr(w http.ResponseWriter, err error) {
 // worker, never data. The chosen owner's response (including 409/413/429
 // backpressure answers and their Retry-After) is relayed verbatim.
 func (c *Coordinator[T]) ingest(tenant string, w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
 	r.Body = http.MaxBytesReader(w, r.Body, maxProxyBody)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -198,8 +270,12 @@ func (c *Coordinator[T]) ingest(tenant string, w http.ResponseWriter, r *http.Re
 	var lastErr error
 	for i := 0; i < len(owners); i++ {
 		owner := owners[(start+i)%len(owners)]
-		resp, err := c.client.Do(http.MethodPost, owner+"/t/"+tenant+"/ingest", contentType, body)
+		resp, err := c.client.Do(ctx, http.MethodPost, owner+"/t/"+tenant+"/ingest", contentType, body, nil)
 		if err != nil {
+			if ctx.Err() != nil {
+				writeErr(w, ctx.Err())
+				return
+			}
 			lastErr = err
 			continue
 		}
@@ -234,20 +310,83 @@ type gathered[T cmp.Ordered] struct {
 	partial bool     // at least one owner did not contribute
 	owners  []string // the tenant's full owner set
 	down    []string // owners unreachable after retries
+	// key is the owner version vector this answer was built from — the
+	// per-owner summary ETags (and 404 markers) joined in ring order.
+	// Empty when the answer is partial or an owner went untagged; a
+	// non-empty key uniquely names the merged bytes.
+	key string
 }
 
-// gather fetches the tenant's summary from every owner concurrently and
-// reduces with core.MergeAll. Owner outcomes: a summary (contributes), a
+// gather answers a query, coalescing concurrent gathers for the same
+// tenant into one fan-out. Coalescing must not weaken read-your-writes:
+// a flight found already in progress may have fanned out before this
+// query's caller saw its ingest acked, so the first such flight is only
+// waited on, never consumed. A flight found after that wait necessarily
+// started after this query arrived — its answer covers everything acked
+// before entry — and is shared. A query burst therefore costs at most
+// two fan-outs regardless of width.
+func (c *Coordinator[T]) gather(ctx context.Context, tenant string) (*gathered[T], error) {
+	if c.cache == nil {
+		return c.gatherOnce(ctx, tenant)
+	}
+	joined := false
+	for {
+		c.flightMu.Lock()
+		f := c.flights[tenant]
+		if f == nil {
+			f = &flight[T]{done: make(chan struct{})}
+			c.flights[tenant] = f
+			c.flightMu.Unlock()
+			// The leader runs under the coordinator's lifetime context,
+			// not its own request's: followers with live requests may be
+			// waiting on this flight, and the leader's client hanging up
+			// must not fail them.
+			f.g, f.err = c.gatherOnce(c.ctx, tenant)
+			c.flightMu.Lock()
+			delete(c.flights, tenant)
+			c.flightMu.Unlock()
+			close(f.done)
+			return f.g, f.err
+		}
+		c.flightMu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if joined {
+			c.gatherShared.Add(1)
+			return f.g, f.err
+		}
+		joined = true
+	}
+}
+
+// gatherOnce fetches the tenant's summary from every owner concurrently
+// and reduces with core.MergeAll. Owner outcomes: a summary (contributes
+// — fetched fresh, or revalidated by a 304 against the gather cache), a
 // 404 (tenant not on that worker — normal when ingest has not touched
 // every owner), or unreachable (degrades the answer). All-404 is
 // ErrUnknownTenant; no contribution with at least one owner down is
 // ErrNoSurvivors.
-func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
+//
+// With the cache enabled, every owner is still contacted on every gather
+// — the cache removes body transfer, decode, and merge work, never the
+// freshness check — so cached state can never mask a down owner or a
+// missed write. When the owner version vector matches the cached merged
+// summary, MergeAll is skipped entirely.
+func (c *Coordinator[T]) gatherOnce(ctx context.Context, tenant string) (*gathered[T], error) {
 	owners := c.Owners(tenant)
+	var prior map[string]ownerEntry[T]
+	if c.cache != nil {
+		prior = c.cache.ownersSnapshot(tenant)
+	}
 	type outcome struct {
-		sum  *core.Summary[T]
-		miss bool // clean 404
-		err  error
+		entry ownerEntry[T]
+		has   bool // entry holds this owner's current summary
+		fresh bool // entry came from a 200 body (vs a 304 carry-forward)
+		miss  bool // clean 404
+		err   error
 	}
 	outs := make([]outcome, len(owners))
 	var wg sync.WaitGroup
@@ -255,10 +394,17 @@ func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
 		wg.Add(1)
 		go func(i int, owner string) {
 			defer wg.Done()
-			status, body, err := c.client.GetBody(owner + "/t/" + tenant + "/summary")
+			cached, hasCached := prior[owner]
+			status, body, etag, err := c.client.GetBodyTag(ctx, owner+"/t/"+tenant+"/summary", cached.etag)
 			switch {
 			case err != nil:
 				outs[i].err = err
+			case status == http.StatusNotModified:
+				if !hasCached {
+					outs[i].err = fmt.Errorf("%w: owner %s: unsolicited 304", errBadWorker, owner)
+					return
+				}
+				outs[i].entry, outs[i].has = cached, true
 			case status == http.StatusNotFound:
 				outs[i].miss = true
 			case status != http.StatusOK:
@@ -267,23 +413,42 @@ func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
 				sum, err := core.LoadSummary[T](bytes.NewReader(body), c.opts.Codec)
 				if err != nil {
 					outs[i].err = fmt.Errorf("%w: owner %s summary: %v", errBadWorker, owner, err)
-				} else {
-					outs[i].sum = sum
+					return
 				}
+				outs[i].entry = ownerEntry[T]{etag: etag, raw: body, sum: sum}
+				outs[i].has, outs[i].fresh = true, true
 			}
 		}(i, owner)
 	}
 	wg.Wait()
 	g := &gathered[T]{owners: owners}
 	var sums []*core.Summary[T]
-	misses := 0
+	misses, revalidated := 0, 0
 	var badWorker error
+	// The version vector is positional over the ring-ordered owner set:
+	// each slot is the owner's summary ETag or a 404 marker. ETags are
+	// quoted strings, so the marker can never collide with one.
+	keyParts := make([]string, 0, len(owners))
+	keyOK := true
+	entries := make(map[string]ownerEntry[T], len(owners))
 	for i, out := range outs {
 		switch {
-		case out.sum != nil:
-			sums = append(sums, out.sum)
+		case out.has:
+			sums = append(sums, out.entry.sum)
+			if !out.fresh {
+				revalidated++
+			}
+			if out.entry.etag == "" {
+				// An untagged worker (never expected from this build) can't
+				// be revalidated or vector-keyed; serve it, cache nothing.
+				keyOK = false
+			} else {
+				entries[owners[i]] = out.entry
+				keyParts = append(keyParts, out.entry.etag)
+			}
 		case out.miss:
 			misses++
+			keyParts = append(keyParts, "-")
 		default:
 			if errors.Is(out.err, errBadWorker) && badWorker == nil {
 				badWorker = out.err
@@ -292,7 +457,15 @@ func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
 			g.down = append(g.down, owners[i])
 		}
 	}
+	if revalidated > 0 {
+		c.gather304s.Add(int64(revalidated))
+	}
 	if len(sums) == 0 {
+		// Nothing to answer from; whatever was cached describes a tenant
+		// that is gone or a fleet that is down, not data we may serve.
+		if c.cache != nil {
+			c.cache.drop(tenant)
+		}
 		switch {
 		case misses == len(owners):
 			return nil, fmt.Errorf("%w: %q", engine.ErrUnknownTenant, tenant)
@@ -303,12 +476,52 @@ func (c *Coordinator[T]) gather(tenant string) (*gathered[T], error) {
 				ErrNoSurvivors, tenant, len(g.down), len(owners))
 		}
 	}
+	// A partial answer is never cached as merged: it does not determine
+	// the tenant's multiset, and the next gather must rebuild from
+	// whichever owners answer then.
+	if !g.partial && keyOK && c.cache != nil {
+		g.key = strings.Join(keyParts, "|")
+	}
+	if c.cache != nil {
+		if sum, _, ok := c.cache.mergedFor(tenant, g.key); ok {
+			// Every owner revalidated against the vector the cached merge
+			// was built from: same inputs, same merge. Skip MergeAll.
+			g.sum = sum
+			c.gatherHits.Add(1)
+			return g, nil
+		}
+	}
 	sum, err := core.MergeAll(sums)
 	if err != nil {
 		return nil, fmt.Errorf("%w: merging owner summaries: %v", errBadWorker, err)
 	}
 	g.sum = sum
+	if c.cache != nil {
+		var merged *core.Summary[T]
+		if g.key != "" {
+			merged = sum
+		}
+		c.cache.commit(tenant, entries, g.key, merged)
+		c.gatherMisses.Add(1)
+	}
 	return g, nil
+}
+
+// cacheStats is the fast-path counter block on /stats and /healthz.
+func (c *Coordinator[T]) cacheStats() map[string]any {
+	st := map[string]any{
+		"enabled":             c.cache != nil,
+		"gather_hits":         c.gatherHits.Load(),
+		"gather_misses":       c.gatherMisses.Load(),
+		"gather_304s":         c.gather304s.Load(),
+		"gather_singleflight": c.gatherShared.Load(),
+	}
+	if c.cache != nil {
+		bytes, tenants := c.cache.usage()
+		st["bytes"] = bytes
+		st["tenants"] = tenants
+	}
+	return st
 }
 
 // boundsJSON mirrors the engine handler's quantile enclosure shape.
@@ -338,7 +551,9 @@ func (c *Coordinator[T]) quantile(tenant string, w http.ResponseWriter, r *http.
 		writeErr(w, fmt.Errorf("%w: phi: %v", errBadGather, err))
 		return
 	}
-	g, err := c.gather(tenant)
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
+	g, err := c.gather(ctx, tenant)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -369,7 +584,9 @@ func (c *Coordinator[T]) quantiles(tenant string, w http.ResponseWriter, r *http
 		writeErr(w, fmt.Errorf("%w: q=%d exceeds maximum %d", errBadGather, q, maxQuantiles))
 		return
 	}
-	g, err := c.gather(tenant)
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
+	g, err := c.gather(ctx, tenant)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -397,7 +614,9 @@ func (c *Coordinator[T]) selectivity(tenant string, w http.ResponseWriter, r *ht
 		writeErr(w, fmt.Errorf("%w: b: %v", errBadGather, err))
 		return
 	}
-	g, err := c.gather(tenant)
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
+	g, err := c.gather(ctx, tenant)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -423,18 +642,21 @@ func (c *Coordinator[T]) selectivity(tenant string, w http.ResponseWriter, r *ht
 }
 
 func (c *Coordinator[T]) stats(tenant string, w http.ResponseWriter, r *http.Request) {
-	g, err := c.gather(tenant)
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
+	g, err := c.gather(ctx, tenant)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"n":       g.sum.N(),
-		"samples": g.sum.SampleCount(),
-		"step":    g.sum.Step(),
-		"owners":  g.owners,
-		"down":    g.down,
-		"partial": g.partial,
+		"n":            g.sum.N(),
+		"samples":      g.sum.SampleCount(),
+		"step":         g.sum.Step(),
+		"owners":       g.owners,
+		"down":         g.down,
+		"partial":      g.partial,
+		"gather_cache": c.cacheStats(),
 	})
 }
 
@@ -442,23 +664,53 @@ func (c *Coordinator[T]) stats(tenant string, w http.ResponseWriter, r *http.Req
 // format — the same bytes a local engine's checkpoint would hold when the
 // stream was run-aligned, which is what the multi-process equivalence
 // harness asserts. Degradation is flagged in the X-Opaq-Partial header
-// (the body is pure summary bytes).
+// (the body is pure summary bytes). Non-partial answers carry a strong
+// ETag derived from the owner version vector and honor If-None-Match, so
+// downstream pollers (opaqclient.Query.Summary) get the same 304 fast
+// path the coordinator itself uses against workers.
 func (c *Coordinator[T]) summary(tenant string, w http.ResponseWriter, r *http.Request) {
-	g, err := c.gather(tenant)
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
+	g, err := c.gather(ctx, tenant)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	var buf bytes.Buffer
-	if err := core.SaveSummary(&buf, g.sum, c.opts.Codec); err != nil {
-		writeErr(w, err)
+	var etag string
+	if g.key != "" {
+		// Hash the vector: the joined worker tags are unbounded and leak
+		// fleet internals; 128 bits of SHA-256 keep the strong-tag
+		// property (vector determines bytes) in a fixed-width header.
+		h := sha256.Sum256([]byte(g.key))
+		etag = `"` + hex.EncodeToString(h[:16]) + `"`
+		w.Header().Set("ETag", etag)
+	}
+	w.Header().Set("X-Opaq-Partial", strconv.FormatBool(g.partial))
+	if etag != "" && engine.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	var raw []byte
+	if g.key != "" {
+		if _, cachedRaw, ok := c.cache.mergedFor(tenant, g.key); ok {
+			raw = cachedRaw
+		}
+	}
+	if raw == nil {
+		var buf bytes.Buffer
+		if err := core.SaveSummary(&buf, g.sum, c.opts.Codec); err != nil {
+			writeErr(w, err)
+			return
+		}
+		raw = buf.Bytes()
+		if g.key != "" {
+			c.cache.attachMergedRaw(tenant, g.sum, raw)
+		}
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Opaq-Partial", strconv.FormatBool(g.partial))
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
 	w.WriteHeader(http.StatusOK)
-	w.Write(buf.Bytes())
+	w.Write(raw)
 }
 
 // adminCreate creates the tenant on every owner. A 409 from an owner
@@ -467,6 +719,8 @@ func (c *Coordinator[T]) summary(tenant string, w http.ResponseWriter, r *http.R
 // that silently exists on only part of its owner set would serve partial
 // answers forever).
 func (c *Coordinator[T]) adminCreate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: reading body: %v", errBadGather, err))
@@ -485,7 +739,7 @@ func (c *Coordinator[T]) adminCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	owners := c.Owners(req.Name)
 	for _, owner := range owners {
-		resp, err := c.client.Do(http.MethodPost, owner+"/admin/tenants", "application/json", body)
+		resp, err := c.client.Do(ctx, http.MethodPost, owner+"/admin/tenants", "application/json", body, nil)
 		if err != nil {
 			writeErr(w, fmt.Errorf("%w: owner %s: %v", ErrNoSurvivors, owner, err))
 			return
@@ -506,6 +760,8 @@ func (c *Coordinator[T]) adminCreate(w http.ResponseWriter, r *http.Request) {
 // adminList unions every worker's tenant list, annotating each tenant
 // with its owner set; unreachable workers flag the listing partial.
 func (c *Coordinator[T]) adminList(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
 	type workerList struct {
 		tenants []string
 		err     error
@@ -517,7 +773,7 @@ func (c *Coordinator[T]) adminList(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, worker string) {
 			defer wg.Done()
-			status, body, err := c.client.GetBody(worker + "/admin/tenants")
+			status, body, err := c.client.GetBody(ctx, worker+"/admin/tenants")
 			if err != nil {
 				lists[i].err = err
 				return
@@ -569,10 +825,12 @@ func (c *Coordinator[T]) adminList(w http.ResponseWriter, r *http.Request) {
 // Unreachable workers fail the delete — a half-deleted tenant would
 // resurrect from the missed worker's checkpoint.
 func (c *Coordinator[T]) adminDelete(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
 	tenant := r.PathValue("tenant")
 	found := false
 	for _, worker := range c.ring.Workers() {
-		resp, err := c.client.Do(http.MethodDelete, worker+"/admin/tenants/"+tenant, "", nil)
+		resp, err := c.client.Do(ctx, http.MethodDelete, worker+"/admin/tenants/"+tenant, "", nil, nil)
 		if err != nil {
 			writeErr(w, fmt.Errorf("%w: worker %s: %v", ErrNoSurvivors, worker, err))
 			return
@@ -588,6 +846,9 @@ func (c *Coordinator[T]) adminDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if c.cache != nil {
+		c.cache.drop(tenant)
+	}
 	if !found {
 		writeErr(w, fmt.Errorf("%w: %q", engine.ErrUnknownTenant, tenant))
 		return
@@ -597,10 +858,12 @@ func (c *Coordinator[T]) adminDelete(w http.ResponseWriter, r *http.Request) {
 
 // healthz aggregates worker health: the coordinator answers 200 whenever
 // it serves (its own liveness), reporting "ok" only when every worker
-// responded and "degraded" otherwise, with per-worker detail and build
-// info on both sides so mixed-version fleets are diagnosable in one
-// round trip.
+// responded and "degraded" otherwise, with per-worker detail, build info
+// on both sides, and the gather-cache counters so a cold fast path is
+// diagnosable in one round trip.
 func (c *Coordinator[T]) healthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := c.reqCtx(r)
+	defer cancel()
 	workers := c.ring.Workers()
 	type health struct {
 		body map[string]any
@@ -612,7 +875,7 @@ func (c *Coordinator[T]) healthz(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, worker string) {
 			defer wg.Done()
-			status, body, err := c.client.GetBody(worker + "/healthz")
+			status, body, err := c.client.GetBody(ctx, worker+"/healthz")
 			if err != nil {
 				healths[i].err = err
 				return
@@ -641,8 +904,9 @@ func (c *Coordinator[T]) healthz(w http.ResponseWriter, r *http.Request) {
 		out[worker] = healths[i].body
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  status,
-		"build":   engine.BuildInfo(),
-		"workers": out,
+		"status":       status,
+		"build":        engine.BuildInfo(),
+		"workers":      out,
+		"gather_cache": c.cacheStats(),
 	})
 }

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opaq/internal/engine"
+	"opaq/internal/runio"
+)
+
+// shadowPair builds two coordinators over the same worker fleet: one with
+// the gather fast path on, one reference coordinator with it disabled.
+// Every query can then be answered both ways and compared.
+func shadowPair(t *testing.T, spread int, workers ...*testWorker) (cached, shadow *Coordinator[int64]) {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.url()
+	}
+	build := func(disable bool) *Coordinator[int64] {
+		c, err := New(Options[int64]{
+			Workers:            urls,
+			Spread:             spread,
+			Codec:              runio.Int64Codec{},
+			Parse:              engine.Int64Key,
+			Client:             &WorkerClient{HTTP: NewWorkerHTTPClient(2 * time.Second), Backoff: 5 * time.Millisecond},
+			DisableGatherCache: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	return build(false), build(true)
+}
+
+// doRawTag is doRaw plus an If-None-Match header.
+func doRawTag(t *testing.T, h http.Handler, path, ifNoneMatch string) *recorder {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://coord"+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := newRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestGatherCacheEquivalence is the cache-equivalence harness: a caching
+// coordinator and a cache-disabled shadow over the SAME worker fleet are
+// driven through interleaved ingests, queries, a network partition, and a
+// full worker kill/restart cycle. At every step both must answer with the
+// same status, the same partial flag, float-identical selectivities and
+// quantile enclosures, and byte-identical summary bytes — the fast path
+// may only remove work, never change an answer. Run under -race in CI,
+// this also exercises cached-summary sharing across concurrent merges.
+func TestGatherCacheEquivalence(t *testing.T) {
+	const (
+		runLen      = 512
+		rounds      = 14
+		partitionAt = 3 // stop one worker's HTTP listener...
+		healAt      = 7 // ...and re-serve it
+		killAt      = 9 // gracefully kill another worker...
+		rebootAt    = 12
+	)
+	workers := []*testWorker{newTestWorker(t), newTestWorker(t), newTestWorker(t)}
+	cached, shadow := shadowPair(t, 2, workers...)
+	hc, hs := cached.Handler(), shadow.Handler()
+
+	tenants := []string{"metrics", "orders", "users"}
+	for _, tenant := range tenants {
+		status, out := doJSON(t, hc, http.MethodPost, "/admin/tenants",
+			[]byte(fmt.Sprintf(`{"name":%q}`, tenant)))
+		if status != http.StatusCreated {
+			t.Fatalf("create %s: status %d %v", tenant, status, out)
+		}
+	}
+
+	// compare answers one query both ways and asserts identity.
+	compare := func(round int, path string) {
+		t.Helper()
+		statusC, outC := doJSON(t, hc, http.MethodGet, path, nil)
+		statusS, outS := doJSON(t, hs, http.MethodGet, path, nil)
+		if statusC != statusS {
+			t.Fatalf("round %d %s: cached status %d vs shadow %d", round, path, statusC, statusS)
+		}
+		if statusC != http.StatusOK {
+			return
+		}
+		// The counter block is the one legitimate divergence.
+		delete(outC, "gather_cache")
+		delete(outS, "gather_cache")
+		if !reflect.DeepEqual(outC, outS) {
+			t.Fatalf("round %d %s: cached answer %v vs shadow %v", round, path, outC, outS)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var next int64 = 1
+	etags := map[string]string{}
+	for round := 0; round < rounds; round++ {
+		switch round {
+		case partitionAt:
+			workers[1].stopHTTP()
+		case healAt:
+			workers[1].restartHTTP()
+		case killAt:
+			workers[0].kill()
+		case rebootAt:
+			workers[0].restart()
+		}
+		for _, tenant := range tenants {
+			// Ingest through either coordinator — they front the same
+			// fleet, so both must observe the write on the next query.
+			batch := runAlignedBatch(runLen, 1+rng.Intn(2), &next)
+			h := hc
+			if round%2 == 1 {
+				h = hs
+			}
+			body, err := json.Marshal(map[string]any{"keys": batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, out := doJSON(t, h, http.MethodPost, "/t/"+tenant+"/ingest", body)
+			if status != http.StatusOK && status != http.StatusServiceUnavailable {
+				t.Fatalf("round %d ingest %s: status %d %v", round, tenant, status, out)
+			}
+
+			phi := 0.01 + 0.98*rng.Float64()
+			a, b := rng.Int63n(1<<40), rng.Int63n(1<<40)
+			if a > b {
+				a, b = b, a
+			}
+			compare(round, fmt.Sprintf("/t/%s/quantile?phi=%g", tenant, phi))
+			// Re-ask immediately: the second answer comes off the merged
+			// cache (nothing changed in between) and must still be equal.
+			compare(round, fmt.Sprintf("/t/%s/quantile?phi=%g", tenant, phi))
+			compare(round, fmt.Sprintf("/t/%s/selectivity?a=%d&b=%d", tenant, a, b))
+			compare(round, "/t/"+tenant+"/stats")
+
+			// Summary bytes, including the coordinator's own 304 protocol.
+			recC := doRawTag(t, hc, "/t/"+tenant+"/summary", etags[tenant])
+			recS := doRawTag(t, hs, "/t/"+tenant+"/summary", "")
+			if recC.status == http.StatusNotModified {
+				t.Fatalf("round %d %s: 304 for a summary that advanced (tag %q)", round, tenant, etags[tenant])
+			}
+			if recC.status != recS.status {
+				t.Fatalf("round %d %s summary: cached status %d vs shadow %d", round, tenant, recC.status, recS.status)
+			}
+			if recC.status != http.StatusOK {
+				continue
+			}
+			if cp, sp := recC.header.Get("X-Opaq-Partial"), recS.header.Get("X-Opaq-Partial"); cp != sp {
+				t.Fatalf("round %d %s summary: cached partial %q vs shadow %q", round, tenant, cp, sp)
+			}
+			if !bytes.Equal(recC.body.Bytes(), recS.body.Bytes()) {
+				t.Fatalf("round %d %s: cached summary bytes differ from shadow (%d vs %d bytes)",
+					round, tenant, recC.body.Len(), recS.body.Len())
+			}
+			if tag := recC.header.Get("ETag"); tag != "" {
+				// An unchanged vector must revalidate: refetch conditionally.
+				again := doRawTag(t, hc, "/t/"+tenant+"/summary", tag)
+				if again.status != http.StatusNotModified || again.body.Len() != 0 {
+					t.Fatalf("round %d %s: conditional summary refetch status %d body %d bytes, want bodyless 304",
+						round, tenant, again.status, again.body.Len())
+				}
+				etags[tenant] = tag
+			}
+		}
+	}
+
+	// The run above must actually have exercised the fast path.
+	if cached.gatherHits.Load() == 0 {
+		t.Error("harness finished with zero merged-cache hits")
+	}
+	if cached.gather304s.Load() == 0 {
+		t.Error("harness finished with zero owner 304 revalidations")
+	}
+	if cached.gatherMisses.Load() == 0 {
+		t.Error("harness finished with zero full merges")
+	}
+	if shadow.gatherHits.Load() != 0 || shadow.gather304s.Load() != 0 {
+		t.Errorf("shadow coordinator used the fast path: hits %d, 304s %d",
+			shadow.gatherHits.Load(), shadow.gather304s.Load())
+	}
+}
+
+// TestGatherCacheCounters pins the observability satellite: the counter
+// block is present on /stats and /healthz, hits and 304s accumulate on
+// repeated queries, and an ingest invalidates the vector so the next
+// query is a miss again.
+func TestGatherCacheCounters(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	cached, shadow := shadowPair(t, 2, w1, w2)
+	h := cached.Handler()
+
+	if status, _ := doJSON(t, h, http.MethodPost, "/admin/tenants", []byte(`{"name":"metrics"}`)); status != http.StatusCreated {
+		t.Fatalf("create status %d", status)
+	}
+	var next int64 = 1
+	ingestJSON(t, h, "metrics", runAlignedBatch(512, 2, &next))
+
+	counters := func(h http.Handler, path string) map[string]any {
+		t.Helper()
+		status, out := doJSON(t, h, http.MethodGet, path, nil)
+		if status != http.StatusOK {
+			t.Fatalf("%s status %d", path, status)
+		}
+		gc, ok := out["gather_cache"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s has no gather_cache block: %v", path, out)
+		}
+		return gc
+	}
+
+	const queries = 5
+	for i := 0; i < queries; i++ {
+		if status, out := doJSON(t, h, http.MethodGet, "/t/metrics/quantile?phi=0.5", nil); status != http.StatusOK {
+			t.Fatalf("quantile status %d: %v", status, out)
+		}
+	}
+	gc := counters(h, "/t/metrics/stats")
+	if gc["enabled"] != true {
+		t.Fatalf("gather_cache.enabled = %v", gc["enabled"])
+	}
+	// The /stats call itself gathers too: of the queries+1 gathers, the
+	// first is the cold miss, the rest are merged-cache hits riding 304s.
+	if hits := gc["gather_hits"].(float64); hits < queries {
+		t.Errorf("gather_hits = %v after %d repeated queries", hits, queries+1)
+	}
+	if n304 := gc["gather_304s"].(float64); n304 < 2*queries {
+		t.Errorf("gather_304s = %v, want >= %d (2 owners per warm gather)", n304, 2*queries)
+	}
+	misses := gc["gather_misses"].(float64)
+	if misses < 1 {
+		t.Errorf("gather_misses = %v, want >= 1 (the cold gather)", misses)
+	}
+
+	// An ingest bumps an owner's version: the next gather must re-merge.
+	ingestJSON(t, h, "metrics", runAlignedBatch(512, 1, &next))
+	if status, _ := doJSON(t, h, http.MethodGet, "/t/metrics/quantile?phi=0.5", nil); status != http.StatusOK {
+		t.Fatal("post-ingest quantile failed")
+	}
+	if got := counters(h, "/t/metrics/stats")["gather_misses"].(float64); got <= misses {
+		t.Errorf("gather_misses = %v after an invalidating ingest, want > %v", got, misses)
+	}
+
+	// Same block on /healthz, with cache usage reported.
+	gc = counters(h, "/healthz")
+	if gc["enabled"] != true || gc["bytes"].(float64) <= 0 || gc["tenants"].(float64) != 1 {
+		t.Errorf("healthz gather_cache = %v, want enabled with 1 resident tenant", gc)
+	}
+
+	// The shadow reports the fast path off.
+	if gc := counters(shadow.Handler(), "/healthz"); gc["enabled"] != false {
+		t.Errorf("shadow gather_cache.enabled = %v", gc["enabled"])
+	}
+}
+
+// TestGatherSingleflight pins the coalescing contract: a burst of
+// concurrent queries against a slow worker costs at most two fan-outs
+// (the in-progress flight a waiter finds may predate its arrival, so one
+// follow-up gather preserves read-your-writes), and late arrivals are
+// counted as singleflight-shared.
+func TestGatherSingleflight(t *testing.T) {
+	reg, err := engine.NewRegistry(engine.RegistryOptions[int64]{
+		Defaults: testWorkerDefaults(),
+		Codec:    runio.Int64Codec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	inner := engine.NewRegistryHandler(reg, engine.Int64Key, engine.HandlerOptions{})
+	var summaryCalls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/summary") {
+			summaryCalls.Add(1)
+			time.Sleep(50 * time.Millisecond) // a slow worker widens the race window
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	coord, err := New(Options[int64]{
+		Workers: []string{srv.URL},
+		Codec:   runio.Int64Codec{},
+		Parse:   engine.Int64Key,
+		Client:  &WorkerClient{HTTP: NewWorkerHTTPClient(5 * time.Second)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	h := coord.Handler()
+
+	if status, _ := doJSON(t, h, http.MethodPost, "/admin/tenants", []byte(`{"name":"burst"}`)); status != http.StatusCreated {
+		t.Fatalf("create status %d", status)
+	}
+	var next int64 = 1
+	ingestJSON(t, h, "burst", runAlignedBatch(512, 1, &next))
+
+	const burst = 8
+	summaryCalls.Store(0)
+	var wg sync.WaitGroup
+	start := make(chan struct{}) // release the burst at once on slow CI
+	errs := make(chan string, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			req, err := http.NewRequest(http.MethodGet, "http://coord/t/burst/quantile?phi=0.5", nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			rec := newRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.status != http.StatusOK {
+				errs <- fmt.Sprintf("status %d: %s", rec.status, rec.body.String())
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// Coalescing allows the leader's flight plus one follow-up for
+	// arrivals mid-flight; without it the burst would cost 8 fetches.
+	if calls := summaryCalls.Load(); calls > 2 {
+		t.Errorf("burst of %d queries issued %d summary fetches, want <= 2", burst, calls)
+	}
+	if shared := coord.gatherShared.Load(); shared == 0 {
+		t.Error("gather_singleflight counter stayed zero across a coalesced burst")
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -190,6 +191,7 @@ type Engine[T cmp.Ordered] struct {
 	maxPending    int64
 	elemSize      int64
 	disablePrefix bool
+	etagBase      string
 	stripes       []*stripe[T]
 
 	next    atomic.Uint64 // round-robin ingest cursor
@@ -249,6 +251,10 @@ type prefixCache[T cmp.Ordered] struct {
 // noDeadline is the oldestDeadline sentinel meaning "nothing can
 // expire": retention is not age-based, or the ring is empty.
 const noDeadline = int64(1<<63 - 1)
+
+// etagSeq disambiguates engines created in the same nanosecond, so every
+// engine instance in a process gets a distinct etag base.
+var etagSeq atomic.Uint64
 
 // New returns an engine with freshly initialized stripes. Engines with an
 // EpochPolicy.Interval own a rotation timer and must be Closed.
@@ -319,7 +325,15 @@ func New[T cmp.Ordered](opts Options) (*Engine[T], error) {
 		maxPending:    opts.MaxPending,
 		elemSize:      int64(runio.ElemSize[T]()),
 		disablePrefix: opts.DisableFrozenPrefix,
-		stripes:       make([]*stripe[T], p),
+		// The etag base is unique per engine instance across process
+		// restarts (boot nanoseconds + an in-process sequence), so a
+		// version-keyed SummaryETag can never collide with one issued by a
+		// previous incarnation of this tenant — a worker rebooted from a
+		// checkpoint restarts its version counter, and without a fresh base
+		// a conditional fetch could 304 against stale bytes.
+		etagBase: strconv.FormatInt(time.Now().UnixNano(), 36) + "." +
+			strconv.FormatUint(etagSeq.Add(1), 36),
+		stripes: make([]*stripe[T], p),
 	}
 	for i := range e.stripes {
 		sb, err := core.NewStreamBuilder[T](opts.Config)
@@ -784,6 +798,18 @@ func (e *Engine[T]) absorb(sum *core.Summary[T], src EpochSource) error {
 	// epoch is already published, so a failure must not unwind it.
 	_, cerr := e.compactPass(false)
 	return cerr
+}
+
+// SummaryETag returns the strong HTTP entity tag identifying snapshot s
+// of this engine: the instance's boot-unique base plus the snapshot's
+// ingest version. Strong means equal tags imply byte-identical
+// Checkpoint/SaveSummary output — the version counter only ever
+// advances, a given (instance, version) pair labels one merge set, and
+// summary serialization is deterministic. The converse does not hold
+// (a version bump with no data change produces a fresh tag), which
+// costs a conditional fetch a full body, never correctness.
+func (e *Engine[T]) SummaryETag(s *Snapshot[T]) string {
+	return `"` + e.etagBase + "." + strconv.FormatUint(s.Version, 36) + `"`
 }
 
 // Checkpoint writes the engine's current merged summary (the retained

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -432,13 +433,29 @@ func (h *handler[T]) stats(eng *Engine[T], w http.ResponseWriter, r *http.Reques
 // holds. A coordinator scatter-gathers these per-worker summaries and
 // reduces them with core.MergeAll; summaries are tiny (the sample list),
 // so the transfer is cheap at any N. Requires a codec (415 without one).
+//
+// The response carries the snapshot's strong ETag (Engine.SummaryETag)
+// and honors If-None-Match: a fetcher holding the current version pays
+// one header round trip (304, no serialization, no body) instead of a
+// full summary — the coordinator's conditional-GET fast path.
 func (h *handler[T]) summary(eng *Engine[T], w http.ResponseWriter, r *http.Request) {
 	if h.codec == nil {
 		http.Error(w, "no element codec configured for binary summaries", http.StatusUnsupportedMediaType)
 		return
 	}
+	s, err := eng.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	etag := eng.SummaryETag(s)
+	w.Header().Set("ETag", etag)
+	if ETagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	var buf bytes.Buffer
-	if err := eng.Checkpoint(&buf, h.codec); err != nil {
+	if err := core.SaveSummary(&buf, s.Summary, h.codec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -446,6 +463,29 @@ func (h *handler[T]) summary(eng *Engine[T], w http.ResponseWriter, r *http.Requ
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
+}
+
+// ETagMatch implements the If-None-Match comparison for strong tags:
+// "*" matches anything, otherwise any member of the comma-separated
+// list must equal the current tag. Weak-prefixed entries (W/"...") are
+// compared by their opaque part — byte-identity is exactly what the
+// weak comparison promises here, since our tags are version-keyed.
+// Exported because the cluster coordinator answers the same protocol.
+func ETagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // healthz is the liveness probe: 200 whenever the process serves, with

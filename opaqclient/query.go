@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 )
 
 // Query is the read side of the client: quantile, selectivity, stats and
@@ -24,6 +25,16 @@ type Query struct {
 	base   string
 	tenant string
 	hc     *http.Client
+
+	// Summary's conditional-GET cache: the last fetched summary bytes and
+	// the ETag that names them. Servers answer 304 when the tag still
+	// matches, so a poller pays one headers-only round trip instead of
+	// re-downloading (and the coordinator skips re-serializing) an
+	// unchanged summary.
+	sumMu      sync.Mutex
+	sumTag     string
+	sumBytes   []byte
+	sumPartial bool
 }
 
 // NewQuery returns a Query against baseURL (e.g. "http://localhost:8080"
@@ -144,6 +155,70 @@ func (q *Query) Healthz() (HealthAnswer, error) {
 		}
 	}
 	return out, nil
+}
+
+// SummaryAnswer is the tenant's merged summary in the portable
+// checksummed core.SaveSummary byte format — loadable with
+// core.LoadSummary for offline analysis or warm-starting another engine.
+type SummaryAnswer struct {
+	// Bytes is the serialized summary. It is shared with the client's
+	// cache; treat it as read-only.
+	Bytes []byte
+	// Partial mirrors the X-Opaq-Partial header: a coordinator built
+	// this summary from a strict subset of the tenant's workers.
+	Partial bool
+	// Cached reports that the server answered 304 Not Modified and
+	// Bytes came from the client-side cache unchanged.
+	Cached bool
+}
+
+// Summary fetches the tenant's summary bytes with a conditional GET:
+// after the first fetch the server's ETag is remembered, and an
+// unchanged summary costs a headers-only 304 round trip. Safe for
+// concurrent use.
+func (q *Query) Summary() (SummaryAnswer, error) {
+	q.sumMu.Lock()
+	tag := q.sumTag
+	q.sumMu.Unlock()
+	req, err := http.NewRequest(http.MethodGet, q.tenantPath("/summary"), nil)
+	if err != nil {
+		return SummaryAnswer{}, err
+	}
+	if tag != "" {
+		req.Header.Set("If-None-Match", tag)
+	}
+	resp, err := q.hc.Do(req)
+	if err != nil {
+		return SummaryAnswer{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		q.sumMu.Lock()
+		defer q.sumMu.Unlock()
+		if q.sumBytes == nil {
+			return SummaryAnswer{}, fmt.Errorf("opaqclient: 304 with no cached summary")
+		}
+		// If a concurrent fetch replaced the entry since the tag was
+		// snapshotted, its bytes are at least as fresh as this 304.
+		return SummaryAnswer{Bytes: q.sumBytes, Partial: q.sumPartial, Cached: true}, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		if err != nil {
+			return SummaryAnswer{}, err
+		}
+		partial := resp.Header.Get("X-Opaq-Partial") == "true"
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			q.sumMu.Lock()
+			q.sumTag, q.sumBytes, q.sumPartial = etag, body, partial
+			q.sumMu.Unlock()
+		}
+		return SummaryAnswer{Bytes: body, Partial: partial}, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return SummaryAnswer{}, fmt.Errorf("opaqclient: %s: http %d: %s",
+			req.URL, resp.StatusCode, bytes.TrimSpace(body))
+	}
 }
 
 // EnsureTenant creates the client's tenant (the server's default tenant

@@ -1,0 +1,95 @@
+package opaqclient
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"opaq/internal/engine"
+	"opaq/internal/runio"
+)
+
+// TestQuerySummaryConditionalCache pins the client side of the 304
+// protocol: the first Summary call downloads and caches the bytes, an
+// unchanged summary is answered from the cache off a conditional GET,
+// and an ingest invalidates the tag so the next call downloads fresh
+// bytes that match the engine's own checkpoint.
+func TestQuerySummaryConditionalCache(t *testing.T) {
+	e := newTestEngine(t)
+	t.Cleanup(func() { e.Close() })
+	codec := runio.Int64Codec{}
+	var conditional atomic.Int64
+	inner := engine.NewHandlerCodec(e, engine.Int64Key, codec, engine.HandlerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") != "" {
+			conditional.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	batch := make([]int64, testCfg.RunLen)
+	for i := range batch {
+		batch[i] = int64(i * 31)
+	}
+	if err := e.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	q := NewQuery(srv.URL, Options{})
+	cold, err := q.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Partial {
+		t.Fatalf("cold Summary: cached %v partial %v", cold.Cached, cold.Partial)
+	}
+	var want bytes.Buffer
+	if err := e.Checkpoint(&want, codec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes, want.Bytes()) {
+		t.Fatalf("cold Summary bytes differ from checkpoint (%d vs %d)", len(cold.Bytes), want.Len())
+	}
+
+	warm, err := q.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("warm Summary re-downloaded an unchanged summary")
+	}
+	if !bytes.Equal(warm.Bytes, want.Bytes()) {
+		t.Fatal("warm Summary bytes differ from the cold fetch")
+	}
+	if conditional.Load() != 1 {
+		t.Fatalf("server saw %d conditional requests, want 1", conditional.Load())
+	}
+
+	// Ingest invalidates: the next call must download the new summary.
+	for i := range batch {
+		batch[i] = int64(i*31) + 7
+	}
+	if err := e.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := q.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("Summary served stale cache across an ingest")
+	}
+	want.Reset()
+	if err := e.Checkpoint(&want, codec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Bytes, want.Bytes()) {
+		t.Fatal("post-ingest Summary bytes differ from the new checkpoint")
+	}
+	if conditional.Load() != 2 {
+		t.Fatalf("server saw %d conditional requests, want 2", conditional.Load())
+	}
+}
