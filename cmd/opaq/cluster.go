@@ -39,6 +39,10 @@ func cmdCoord(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	cacheBytes := fs.Int64("gather-cache", cluster.DefaultGatherCacheBytes,
 		"gather-cache byte budget for cached worker summaries (0 disables the query fast path)")
+	walDir := fs.String("wal-dir", "",
+		"ingest write-ahead journal directory: batches no owner will take are journaled here and replayed when owners recover (empty disables journaling)")
+	walMaxBytes := fs.Int64("wal-max-bytes", cluster.DefaultWALMaxBytes,
+		"total on-disk byte budget across journals; appends past it fail the ingest 503")
 	fs.Parse(args)
 
 	if *workers == "" {
@@ -66,6 +70,8 @@ func cmdCoord(args []string) error {
 		},
 		GatherCacheBytes:   *cacheBytes,
 		DisableGatherCache: *cacheBytes == 0,
+		WALDir:             *walDir,
+		WALMaxBytes:        *walMaxBytes,
 	})
 	if err != nil {
 		return err

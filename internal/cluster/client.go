@@ -15,7 +15,20 @@ import (
 const (
 	defaultAttempts = 3
 	defaultBackoff  = 50 * time.Millisecond
+	// maxBackoff caps the doubling: raised attempt counts against a
+	// long-dead owner cost at most this much per retry instead of an
+	// unbounded geometric stall.
+	maxBackoff = 2 * time.Second
 )
+
+// nextBackoff doubles a retry delay up to maxBackoff.
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > maxBackoff {
+		return maxBackoff
+	}
+	return d
+}
 
 // sharedTransport pools keep-alive connections to workers across every
 // WorkerClient that does not bring its own http.Client. The per-host
@@ -57,7 +70,8 @@ type WorkerClient struct {
 	HTTP *http.Client
 	// Attempts is the total try count (0 means 3).
 	Attempts int
-	// Backoff is the first retry delay, doubling per retry (0 means 50ms).
+	// Backoff is the first retry delay, doubling per retry up to a 2s cap
+	// (0 means 50ms).
 	Backoff time.Duration
 }
 
@@ -94,7 +108,7 @@ func (c *WorkerClient) Do(ctx context.Context, method, url, contentType string, 
 				t.Stop()
 				return nil, ctx.Err()
 			}
-			backoff *= 2
+			backoff = nextBackoff(backoff)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err

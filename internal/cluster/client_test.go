@@ -48,6 +48,37 @@ func TestWorkerClientHonorsContext(t *testing.T) {
 	}
 }
 
+// TestWorkerClientBackoffCap pins the retry schedule's ceiling: the
+// delay doubles from its starting point but never past maxBackoff, so a
+// raised attempt count against a long-dead owner costs a bounded stall
+// per retry instead of a geometric one.
+func TestWorkerClientBackoffCap(t *testing.T) {
+	d := 50 * time.Millisecond
+	var total time.Duration
+	for i := 0; i < 10; i++ {
+		d = nextBackoff(d)
+		total += d
+		if d > maxBackoff {
+			t.Fatalf("step %d: backoff %v exceeds cap %v", i, d, maxBackoff)
+		}
+	}
+	if d != maxBackoff {
+		t.Fatalf("after 10 doublings backoff = %v, want pinned at %v", d, maxBackoff)
+	}
+	// 100ms..1.6s doubling, then capped at 2s for the remaining 5 steps.
+	want := 100*time.Millisecond + 200*time.Millisecond + 400*time.Millisecond +
+		800*time.Millisecond + 1600*time.Millisecond + 5*maxBackoff
+	if total != want {
+		t.Fatalf("10-retry schedule sleeps %v, want %v", total, want)
+	}
+	// An explicit Backoff above the cap is honored as the first delay
+	// (the cap bounds growth, it does not clamp configuration), and the
+	// very next doubling lands on the cap.
+	if got := nextBackoff(30 * time.Second); got != maxBackoff {
+		t.Fatalf("nextBackoff(30s) = %v, want %v", got, maxBackoff)
+	}
+}
+
 // TestWorkerClientConditionalGet pins the GetBodyTag protocol: the tag
 // travels as If-None-Match, a 304 comes back tagged and bodyless, and a
 // changed resource answers 200 with the fresh tag.

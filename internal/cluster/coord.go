@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"opaq/internal/core"
 	"opaq/internal/engine"
@@ -77,7 +78,29 @@ type Options[T cmp.Ordered] struct {
 	// which is the reference behavior the cache-equivalence harness
 	// shadows against.
 	DisableGatherCache bool
+	// WALDir, when non-empty, enables the ingest write-ahead journal: a
+	// batch none of its tenant's owners will take is journaled there
+	// (fsync'd) and answered 202 Accepted with X-Opaq-Journaled: true
+	// instead of a 503, then replayed to recovered owners in per-tenant
+	// order with at-least-once delivery. Empty keeps the pre-WAL
+	// behavior: an all-owners-down ingest is the client's to retry.
+	WALDir string
+	// WALMaxBytes bounds the journals' total on-disk bytes
+	// (0 = DefaultWALMaxBytes). Appends past the budget are dropped
+	// (wal_drops) and the ingest fails 503 as it would without a journal.
+	WALMaxBytes int64
+	// OwnerQuarantine is how long an owner that failed an ingest relay is
+	// deprioritized — moved to the back of the failover order instead of
+	// being redialed first — before it is trusted again (0 = 2s; cleared
+	// early by any successful delivery, direct or replayed).
+	OwnerQuarantine time.Duration
 }
+
+// defaultOwnerQuarantine deprioritizes a freshly failed owner long enough
+// that a burst of ingests does not pay the full retry schedule against it
+// on every Nth request, and short enough that a restarted worker is
+// redialed within a couple of seconds even with no replay traffic.
+const defaultOwnerQuarantine = 2 * time.Second
 
 // Coordinator scatter-gathers a worker fleet behind the engine's HTTP
 // surface. All methods are safe for concurrent use.
@@ -99,6 +122,17 @@ type Coordinator[T cmp.Ordered] struct {
 	cache    *gatherCache[T]
 	flightMu sync.Mutex
 	flights  map[string]*flight[T]
+
+	// wal is the ingest write-ahead journal (nil when disabled); the
+	// replay goroutine is accounted in wg and joined by Close.
+	wal        *WAL
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+	quarantine time.Duration
+	// ownerDown maps owner URL -> *atomic.Int64 UnixNano of the last
+	// failed relay (0 after a success): the quarantine clock that keeps
+	// the round-robin cursor from dialing a known-dead owner first.
+	ownerDown sync.Map
 
 	// Fast-path counters, surfaced on /stats and /healthz.
 	gatherHits   atomic.Int64 // merged summary reused, MergeAll skipped
@@ -140,18 +174,33 @@ func New[T cmp.Ordered](opts Options[T]) (*Coordinator[T], error) {
 	if client == nil {
 		client = &WorkerClient{}
 	}
+	quarantine := opts.OwnerQuarantine
+	if quarantine <= 0 {
+		quarantine = defaultOwnerQuarantine
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator[T]{
-		opts:    opts,
-		ring:    ring,
-		client:  client,
-		buckets: buckets,
-		ctx:     ctx,
-		cancel:  cancel,
-		flights: map[string]*flight[T]{},
+		opts:       opts,
+		ring:       ring,
+		client:     client,
+		buckets:    buckets,
+		ctx:        ctx,
+		cancel:     cancel,
+		flights:    map[string]*flight[T]{},
+		quarantine: quarantine,
 	}
 	if !opts.DisableGatherCache {
 		c.cache = newGatherCache[T](opts.GatherCacheBytes)
+	}
+	if opts.WALDir != "" {
+		wal, err := OpenWAL(opts.WALDir, opts.WALMaxBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.wal = wal
+		c.wg.Add(1)
+		go c.replayLoop()
 	}
 	return c, nil
 }
@@ -159,9 +208,19 @@ func New[T cmp.Ordered](opts Options[T]) (*Coordinator[T], error) {
 // Close cancels the coordinator's lifetime context, aborting in-flight
 // fan-outs and their retry backoffs — call it when a graceful drain
 // times out so handlers stuck retrying dead workers unblock instead of
-// pinning shutdown. Safe to call more than once; the coordinator must
-// not serve new requests afterwards.
-func (c *Coordinator[T]) Close() { c.cancel() }
+// pinning shutdown. It joins the WAL replayer and releases the journal
+// file handles (pending records stay on disk for the next coordinator).
+// Safe to call more than once; the coordinator must not serve new
+// requests afterwards.
+func (c *Coordinator[T]) Close() {
+	c.cancel()
+	c.closeOnce.Do(func() {
+		c.wg.Wait()
+		if c.wal != nil {
+			c.wal.Close()
+		}
+	})
+}
 
 // reqCtx derives a fan-out context that dies with either the request or
 // the coordinator, so both a hung-up client and a shutdown unblock the
@@ -247,6 +306,12 @@ func writeErr(w http.ResponseWriter, err error) {
 // landing on any owner is equivalent; failover loses availability of a
 // worker, never data. The chosen owner's response (including 409/413/429
 // backpressure answers and their Retry-After) is relayed verbatim.
+//
+// When every owner rejects or is unreachable and the write-ahead journal
+// is enabled, the already-buffered batch is journaled and answered 202
+// with X-Opaq-Journaled: true instead of the 503; a tenant with journal
+// backlog journals every new batch behind it, preserving per-tenant
+// batch order end to end.
 func (c *Coordinator[T]) ingest(tenant string, w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := c.reqCtx(r)
 	defer cancel()
@@ -263,31 +328,207 @@ func (c *Coordinator[T]) ingest(tenant string, w http.ResponseWriter, r *http.Re
 		writeErr(w, fmt.Errorf("%w: reading body: %v", errBadGather, err))
 		return
 	}
+	contentType := r.Header.Get("Content-Type")
+	if c.wal != nil && c.wal.HasBacklog(tenant) {
+		// Journaled batches must not be overtaken by direct relays.
+		c.journalIngest(tenant, contentType, body, w)
+		return
+	}
 	owners := c.Owners(tenant)
 	cursorAny, _ := c.rr.LoadOrStore(tenant, new(atomic.Uint64))
 	start := int(cursorAny.(*atomic.Uint64).Add(1) - 1)
-	contentType := r.Header.Get("Content-Type")
+	resp, err := c.deliverBatch(ctx, tenant, contentType, body, c.orderOwners(owners, start))
+	if err != nil {
+		if ctx.Err() != nil {
+			writeErr(w, ctx.Err())
+			return
+		}
+		if c.wal != nil {
+			c.journalIngest(tenant, contentType, body, w)
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	relay(w, resp)
+}
+
+// deliverBatch posts one buffered batch to the first owner in ord that
+// answers below 500, recording owner health for the quarantine order.
+// Every attempt re-sends from the buffered copy — a transport error
+// after part of the body was written can never leak a partially consumed
+// stream to the next owner. The returned response's body is open and
+// owned by the caller; all owners failing is ErrNoSurvivors (or the
+// context's error when the caller is gone).
+func (c *Coordinator[T]) deliverBatch(ctx context.Context, tenant, contentType string, body []byte, ord []string) (*http.Response, error) {
 	var lastErr error
-	for i := 0; i < len(owners); i++ {
-		owner := owners[(start+i)%len(owners)]
+	for _, owner := range ord {
 		resp, err := c.client.Do(ctx, http.MethodPost, owner+"/t/"+tenant+"/ingest", contentType, body, nil)
 		if err != nil {
 			if ctx.Err() != nil {
-				writeErr(w, ctx.Err())
-				return
+				return nil, ctx.Err()
 			}
+			c.noteOwnerDown(owner)
 			lastErr = err
 			continue
 		}
 		if resp.StatusCode >= 500 {
 			resp.Body.Close()
+			c.noteOwnerDown(owner)
 			lastErr = fmt.Errorf("%w: owner %s status %d", errBadWorker, owner, resp.StatusCode)
 			continue
 		}
-		relay(w, resp)
+		c.noteOwnerUp(owner)
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w for tenant %q: %v", ErrNoSurvivors, tenant, lastErr)
+}
+
+// orderOwners rotates the owner set to the round-robin start, then moves
+// owners that failed within the quarantine window to the back — a known-
+// dead owner stops being dialed (and retried, and backed off against)
+// first on every Nth request, so failover latency during an outage is
+// one healthy dial, not a full retry schedule. Quarantined owners are
+// still tried last: quarantine reorders, it never sheds.
+func (c *Coordinator[T]) orderOwners(owners []string, start int) []string {
+	ord := make([]string, 0, len(owners))
+	var parked []string
+	for i := range owners {
+		owner := owners[(start+i)%len(owners)]
+		if c.ownerQuarantined(owner) {
+			parked = append(parked, owner)
+		} else {
+			ord = append(ord, owner)
+		}
+	}
+	return append(ord, parked...)
+}
+
+func (c *Coordinator[T]) noteOwnerDown(owner string) {
+	v, _ := c.ownerDown.LoadOrStore(owner, new(atomic.Int64))
+	v.(*atomic.Int64).Store(time.Now().UnixNano())
+}
+
+func (c *Coordinator[T]) noteOwnerUp(owner string) {
+	if v, ok := c.ownerDown.Load(owner); ok {
+		v.(*atomic.Int64).Store(0)
+	}
+}
+
+func (c *Coordinator[T]) ownerQuarantined(owner string) bool {
+	v, ok := c.ownerDown.Load(owner)
+	if !ok {
+		return false
+	}
+	at := v.(*atomic.Int64).Load()
+	return at != 0 && time.Since(time.Unix(0, at)) < c.quarantine
+}
+
+// binaryIngestBody mirrors the engine handler's content negotiation.
+func binaryIngestBody(contentType string) bool {
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	return strings.TrimSpace(contentType) == "application/octet-stream"
+}
+
+// validateFrames walks a binary ingest body, enforcing the same framing,
+// checksum, codec-kind and tenant-match rules the worker handler would,
+// and returns the total element count. Journaling skips the workers'
+// validation, so it must happen here — a body the fleet would reject
+// with 400 is rejected now, not silently accepted and dropped at replay.
+func (c *Coordinator[T]) validateFrames(tenant string, body []byte) (int64, error) {
+	rd := bytes.NewReader(body)
+	elemSize := c.opts.Codec.Size()
+	kind := c.opts.Codec.Kind()
+	var payload []byte
+	var elems int64
+	for {
+		h, err := runio.ReadFrameHeader(rd, 0)
+		if err == io.EOF {
+			return elems, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if h.Type != runio.FrameData {
+			return 0, fmt.Errorf("frame type %d: only data frames ingest", h.Type)
+		}
+		if h.Kind != kind {
+			return 0, fmt.Errorf("codec kind %d, fleet speaks %d", h.Kind, kind)
+		}
+		if payload, err = runio.ReadFramePayload(rd, h, payload); err != nil {
+			return 0, err
+		}
+		frameTenant, elemBytes, err := runio.SplitDataPayload(payload, elemSize)
+		if err != nil {
+			return 0, err
+		}
+		if frameTenant != "" && frameTenant != tenant {
+			return 0, fmt.Errorf("frame tenant %q on route tenant %q", frameTenant, tenant)
+		}
+		elems += int64(len(elemBytes) / elemSize)
+	}
+}
+
+// journalIngest accepts a batch whose owners are all unavailable (or
+// backlogged behind earlier journaled batches) into the write-ahead
+// journal and answers 202 Accepted with X-Opaq-Journaled: true. The
+// response body matches the request's wire format: JSON bodies get a
+// JSON acknowledgment, frame bodies get an ack frame counting the
+// batch's elements (engine count 0 — the fleet that would know is down).
+// Bodies the workers would reject are rejected here with 400, and an
+// append past the journal budget fails 503 exactly as an unjournaled
+// all-owners-down ingest would.
+func (c *Coordinator[T]) journalIngest(tenant, contentType string, body []byte, w http.ResponseWriter) {
+	binary := binaryIngestBody(contentType)
+	var elems int64
+	if binary {
+		n, err := c.validateFrames(tenant, body)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", errBadGather, err))
+			return
+		}
+		elems = n
+	} else if !json.Valid(body) {
+		writeErr(w, fmt.Errorf("%w: ingest body is not valid JSON", errBadGather))
 		return
 	}
-	writeErr(w, fmt.Errorf("%w for tenant %q: %v", ErrNoSurvivors, tenant, lastErr))
+	kind := walBodyJSON
+	if binary {
+		kind = walBodyFrames
+	}
+	pending, err := c.wal.Append(tenant, kind, body)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w for tenant %q: %v", ErrNoSurvivors, tenant, err))
+		return
+	}
+	w.Header().Set("X-Opaq-Journaled", "true")
+	if binary {
+		ack := runio.AppendAckFrame(nil, uint32(elems), 0)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write(ack)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"journaled":     true,
+		"pending_bytes": pending,
+	})
+}
+
+// walStatsBlock is the journal counter block on /stats and /healthz.
+func (c *Coordinator[T]) walStatsBlock() map[string]any {
+	st := map[string]any{"enabled": c.wal != nil}
+	if c.wal != nil {
+		s := c.wal.Stats()
+		st["wal_appends"] = s.Appends
+		st["wal_replayed"] = s.Replayed
+		st["wal_pending_bytes"] = s.PendingBytes
+		st["wal_drops"] = s.Drops
+		st["tenants"] = s.Tenants
+	}
+	return st
 }
 
 // relay copies a worker response (status, JSON body, Retry-After) out.
@@ -657,6 +898,7 @@ func (c *Coordinator[T]) stats(tenant string, w http.ResponseWriter, r *http.Req
 		"down":         g.down,
 		"partial":      g.partial,
 		"gather_cache": c.cacheStats(),
+		"wal":          c.walStatsBlock(),
 	})
 }
 
@@ -849,6 +1091,9 @@ func (c *Coordinator[T]) adminDelete(w http.ResponseWriter, r *http.Request) {
 	if c.cache != nil {
 		c.cache.drop(tenant)
 	}
+	if c.wal != nil {
+		c.wal.DropTenant(tenant)
+	}
 	if !found {
 		writeErr(w, fmt.Errorf("%w: %q", engine.ErrUnknownTenant, tenant))
 		return
@@ -908,5 +1153,6 @@ func (c *Coordinator[T]) healthz(w http.ResponseWriter, r *http.Request) {
 		"build":        engine.BuildInfo(),
 		"workers":      out,
 		"gather_cache": c.cacheStats(),
+		"wal":          c.walStatsBlock(),
 	})
 }

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opaq/internal/engine"
+	"opaq/internal/runio"
+)
+
+// evilOwner is a worker-shaped TCP endpoint that reads part of whatever a
+// connection sends and then resets it (RST via SetLinger(0)) — the
+// mid-body connection-reset case: a relay that had started writing the
+// batch when the peer died.
+type evilOwner struct {
+	ln       net.Listener
+	url      string
+	dials    atomic.Int64
+	maxBytes atomic.Int64 // most bytes read on any one connection
+}
+
+func newEvilOwner(t *testing.T, readLimit int) *evilOwner {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &evilOwner{ln: ln, url: "http://" + ln.Addr().String()}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			e.dials.Add(1)
+			go func(conn net.Conn) {
+				conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+				buf := make([]byte, 4096)
+				read := 0
+				for read < readLimit {
+					n, err := conn.Read(buf)
+					read += n
+					if err != nil {
+						break
+					}
+				}
+				for {
+					cur := e.maxBytes.Load()
+					if int64(read) <= cur || e.maxBytes.CompareAndSwap(cur, int64(read)) {
+						break
+					}
+				}
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				conn.Close()
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return e
+}
+
+// createTenantOn creates a tenant directly on one worker, bypassing the
+// coordinator's admin fan-out (which would require every owner healthy).
+func createTenantOn(t *testing.T, workerURL, tenant string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"name": tenant})
+	resp, err := http.Post(workerURL+"/admin/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create %s on %s: status %d", tenant, workerURL, resp.StatusCode)
+	}
+}
+
+// tenantOwnedFirstBy finds a tenant name the ring assigns to `first` as
+// its leading owner, so the round-robin cursor's first ingest dials it.
+func tenantOwnedFirstBy(t *testing.T, c *Coordinator[int64], first string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("ten%03d", i)
+		if c.Owners(name)[0] == first {
+			return name
+		}
+	}
+	t.Fatal("no tenant hashes to the target owner first")
+	return ""
+}
+
+// TestIngestFailoverMidBodyReset locks in the relay's from-the-buffered-
+// copy resend discipline: the first owner accepts the connection, reads
+// part of a large binary frame, and resets mid-body. The batch the
+// survivor then receives must be the intact buffered copy — any partial
+// consumption or corruption from the aborted attempt would fail the
+// frame's CRCs on the survivor and surface as a 400, and a short resend
+// would change the acked element count.
+func TestIngestFailoverMidBodyReset(t *testing.T) {
+	codec := runio.Int64Codec{}
+	evil := newEvilOwner(t, 8<<10)
+	survivor := newTestWorker(t)
+
+	c, err := New(Options[int64]{
+		Workers: []string{evil.url, survivor.url()},
+		Spread:  2,
+		Codec:   codec,
+		Parse:   engine.Int64Key,
+		Client:  &WorkerClient{HTTP: &http.Client{Timeout: 5 * time.Second}, Backoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	h := c.Handler()
+
+	tenant := tenantOwnedFirstBy(t, c, evil.url)
+	createTenantOn(t, survivor.url(), tenant)
+
+	// ~2 MiB frame: large enough that the reset lands mid-body, not after
+	// a fully buffered write.
+	batch := make([]int64, 256<<10)
+	for i := range batch {
+		batch[i] = int64(i) * 2654435761 % (1 << 40)
+	}
+	frame, err := runio.AppendDataFrame(nil, codec, "", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doRaw(t, h, http.MethodPost, "/t/"+tenant+"/ingest", "application/octet-stream", frame)
+	if rec.status != http.StatusOK {
+		t.Fatalf("failover ingest status %d: %s", rec.status, rec.body.String())
+	}
+	hd, err := runio.ReadFrameHeader(&rec.body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := runio.ReadFramePayload(&rec.body, hd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked, n, err := runio.DecodeAckPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(acked) != len(batch) || n != int64(len(batch)) {
+		t.Fatalf("survivor acked %d (engine n %d), want the full %d-element batch", acked, n, len(batch))
+	}
+	if evil.dials.Load() == 0 {
+		t.Fatal("evil owner was never dialed — test exercised nothing")
+	}
+	if got := evil.maxBytes.Load(); got == 0 || got >= int64(len(frame)) {
+		t.Fatalf("evil owner read %d bytes of a %d-byte request; want a strict mid-body prefix", got, len(frame))
+	}
+}
+
+// countingTransport counts round trips per target host.
+type countingTransport struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (ct *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ct.mu.Lock()
+	ct.counts[req.URL.Host]++
+	ct.mu.Unlock()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (ct *countingTransport) count(host string) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.counts[host]
+}
+
+// TestIngestQuarantineSkipsDeadOwner asserts the round-robin cursor stops
+// paying the full retry schedule against a known-dead owner: after one
+// failed relay the owner is quarantined and the next ingest whose cursor
+// lands on it goes straight to a healthy owner (zero dials to the dead
+// one), until the window expires and it is probed again.
+func TestIngestQuarantineSkipsDeadOwner(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadHost := dead.Addr().String()
+	dead.Close() // connection refused from here on
+	live := newTestWorker(t)
+
+	ct := &countingTransport{counts: map[string]int{}}
+	const quarantine = 500 * time.Millisecond
+	c, err := New(Options[int64]{
+		Workers:         []string{"http://" + deadHost, live.url()},
+		Spread:          2,
+		Codec:           runio.Int64Codec{},
+		Parse:           engine.Int64Key,
+		Client:          &WorkerClient{HTTP: &http.Client{Timeout: 2 * time.Second, Transport: ct}, Backoff: time.Millisecond},
+		OwnerQuarantine: quarantine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	h := c.Handler()
+
+	tenant := tenantOwnedFirstBy(t, c, "http://"+deadHost)
+	createTenantOn(t, live.url(), tenant)
+
+	ingest := func(i int) {
+		body, _ := json.Marshal(map[string]any{"keys": []int64{int64(i)}})
+		rec := doRaw(t, h, http.MethodPost, "/t/"+tenant+"/ingest", "application/json", body)
+		if rec.status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d %s", i, rec.status, rec.body.String())
+		}
+	}
+
+	ingest(0) // cursor 0: dead first — pays the full retry schedule once
+	afterFirst := ct.count(deadHost)
+	if afterFirst != defaultAttempts {
+		t.Fatalf("first failover dialed dead owner %d times, want %d", afterFirst, defaultAttempts)
+	}
+	ingest(1) // cursor 1: live first anyway
+	ingest(2) // cursor 2: dead first again — but quarantined now
+	if got := ct.count(deadHost); got != afterFirst {
+		t.Fatalf("quarantined owner redialed: %d dials after, %d before", got, afterFirst)
+	}
+
+	time.Sleep(quarantine + 100*time.Millisecond)
+	ingest(3) // cursor 3: live first
+	ingest(4) // cursor 4: dead first, quarantine expired — probed again
+	if got := ct.count(deadHost); got <= afterFirst {
+		t.Fatalf("expired quarantine never re-probed the owner (%d dials)", got)
+	}
+}

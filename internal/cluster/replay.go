@@ -1,0 +1,94 @@
+// Background replay of the ingest write-ahead journal (wal.go): a single
+// goroutine per coordinator drains journaled batches to recovered owners,
+// preserving per-tenant record order and at-least-once delivery.
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// Replay pacing: the loop wakes on every journal append and otherwise
+// polls on a doubling backoff, capped so a fleet that stays down costs a
+// dial attempt every couple of seconds, and a fleet that recovers is
+// drained within one cap interval even if the wake signal was consumed
+// early.
+const (
+	walReplayMinBackoff = 50 * time.Millisecond
+	walReplayMaxBackoff = 2 * time.Second
+)
+
+// replayLoop runs until the coordinator closes. It is started by New only
+// when the WAL is enabled.
+func (c *Coordinator[T]) replayLoop() {
+	defer c.wg.Done()
+	backoff := walReplayMinBackoff
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.wal.notify:
+		case <-time.After(backoff):
+		}
+		progressed, blocked := c.replayPass()
+		switch {
+		case progressed:
+			backoff = walReplayMinBackoff
+		case blocked:
+			if backoff *= 2; backoff > walReplayMaxBackoff {
+				backoff = walReplayMaxBackoff
+			}
+		default:
+			// Idle: nothing pending. Sleep the cap; an append wakes us.
+			backoff = walReplayMaxBackoff
+		}
+	}
+}
+
+// replayPass tries to drain every backlogged tenant in record order. A
+// tenant whose owners are all still unreachable (or shedding 429s) stays
+// blocked without stalling the other tenants' drains. Records the
+// workers reject outright (any non-retryable non-2xx) are discarded —
+// the verdict a direct ingest would have relayed to its client — so a
+// poisoned batch can never wedge the journal.
+func (c *Coordinator[T]) replayPass() (progressed, blocked bool) {
+	for _, tenant := range c.wal.Tenants() {
+		for {
+			if c.ctx.Err() != nil {
+				return progressed, blocked
+			}
+			rec, ok := c.wal.Next(tenant)
+			if !ok {
+				break
+			}
+			ord := c.orderOwners(c.Owners(tenant), 0)
+			resp, err := c.deliverBatch(c.ctx, tenant, rec.ContentType, rec.Body, ord)
+			if err != nil {
+				blocked = true
+				break
+			}
+			status := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case status < 300:
+				// Delivered: acked by a worker, included in its checkpoints.
+				c.wal.Consume(tenant, rec)
+				progressed = true
+			case status == http.StatusTooManyRequests:
+				// Backpressure is retryable — the owner is alive but
+				// shedding. Keep the record and this tenant's order; the
+				// capped backoff paces the retry.
+				blocked = true
+			default:
+				c.wal.Discard(tenant, rec)
+				progressed = true
+			}
+			if status == http.StatusTooManyRequests {
+				break
+			}
+		}
+	}
+	return progressed, blocked
+}

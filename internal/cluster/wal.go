@@ -1,0 +1,483 @@
+// Coordinator-side ingest write-ahead journal.
+//
+// The coordinator is stateless for queries, but ingest has one failure
+// mode statelessness cannot excuse: a batch in flight while *every* owner
+// of its tenant is down used to bounce back as a 503 that made retrying
+// the client's problem. The WAL closes that gap — the already-buffered
+// batch is appended to a per-tenant journal on disk, the client gets
+// `202 Accepted` with `X-Opaq-Journaled: true`, and a background
+// replayer (replay.go) drains the journal to recovered owners.
+//
+// On-disk format: each journal is a sequence of runio CRC frames (the
+// same header/payload-checksum discipline as the wire protocol and the
+// checkpoint format), one record per accepted batch. A record's payload
+// is tenant-prefixed like a data frame's, followed by a body-kind byte
+// and the request body verbatim:
+//
+//	uint16 tenant length | tenant bytes | uint8 kind (0=JSON, 1=frames) | body
+//
+// Every append is fsync'd before the 202 leaves, so an acknowledged
+// journal entry survives a coordinator crash. Replay offsets persist in
+// a `<tenant>.walpos` sidecar updated after each delivered record; a
+// crash between delivery and offset persistence re-delivers the record —
+// the journal's contract is at-least-once, per-tenant ordered.
+//
+// Corruption handling mirrors LoadSummary's: a torn final record (the
+// crash-during-append case) is detected by its checksums on open,
+// truncated away and ignored — never a crash, never a half batch. A
+// replay offset that does not land on a record boundary is reset to the
+// journal start (re-delivery again, never corruption).
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"opaq/internal/engine"
+	"opaq/internal/runio"
+)
+
+// DefaultWALMaxBytes bounds the journals' total on-disk footprint when
+// Options.WALMaxBytes is zero. 256 MiB absorbs minutes of full-rate
+// ingest during a fleet-wide outage without letting a dead fleet eat the
+// coordinator's disk.
+const DefaultWALMaxBytes int64 = 256 << 20
+
+// ErrWALFull reports an append past the journal byte budget: the batch
+// was dropped (wal_drops) and the owner failure surfaces as the 503 it
+// would have been without a journal.
+var ErrWALFull = errors.New("cluster: write-ahead journal over byte budget")
+
+const (
+	walExt    = ".wal"
+	walPosExt = ".walpos"
+	// walRecordKind tags journal record frames in the header's codec-kind
+	// slot, so a journal file can never be mistaken for (or replayed as) a
+	// stream of live data frames by another reader.
+	walRecordKind = 0x7741 // "wA"
+	// walMaxPayload bounds one record: the proxy body cap plus framing and
+	// tenant headroom. Anything larger in a journal is corruption.
+	walMaxPayload = maxProxyBody + 1<<16
+	// walRecordOverhead is a record's framing cost around its payload.
+	walRecordOverhead = runio.FrameHeaderSize + 4
+)
+
+// Journal body kinds: how the batch re-enters the ingest path on replay.
+const (
+	walBodyJSON   byte = 0
+	walBodyFrames byte = 1
+)
+
+// walContentType maps a record's body kind back to the Content-Type the
+// replayer posts it under.
+func walContentType(kind byte) string {
+	if kind == walBodyFrames {
+		return "application/octet-stream"
+	}
+	return "application/json"
+}
+
+// WALRecord is one journaled batch, peeked by the replayer via Next and
+// retired with Consume (delivered) or Discard (rejected by the workers).
+type WALRecord struct {
+	Tenant string
+	// ContentType is the ingest Content-Type the body was accepted under.
+	ContentType string
+	// Body is the buffered request body, byte-for-byte as received.
+	Body []byte
+	// size is the record's full on-disk footprint (framing included).
+	size int64
+}
+
+// walFile is one tenant's open journal.
+type walFile struct {
+	tenant   string
+	path     string
+	posPath  string
+	f        *os.File
+	size     int64 // valid journal length (torn tail already truncated)
+	consumed int64 // replay offset; records below it are delivered
+}
+
+func (wf *walFile) backlog() int64 { return wf.size - wf.consumed }
+
+// WAL is the coordinator's ingest write-ahead journal: one append-only
+// file per tenant under a shared byte budget. All methods are safe for
+// concurrent use; Append (HTTP handlers) and Next/Consume (the replayer)
+// interleave under one lock, which also serializes the per-append fsync.
+type WAL struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	files   map[string]*walFile
+	pending int64 // total unconsumed bytes across tenants
+
+	appends  atomic.Int64
+	replayed atomic.Int64
+	drops    atomic.Int64
+
+	// notify wakes the replayer on append without blocking the handler.
+	notify chan struct{}
+}
+
+// WALStats is the counter block surfaced on /stats and /healthz.
+type WALStats struct {
+	Appends      int64
+	Replayed     int64
+	PendingBytes int64
+	Drops        int64
+	Tenants      int
+}
+
+// OpenWAL opens (creating if needed) the journal directory and re-opens
+// every journal found there — the coordinator-restart path: pending
+// records from a previous life are replayable immediately. Torn final
+// records are truncated away; fully consumed journals are removed.
+func OpenWAL(dir string, maxBytes int64) (*WAL, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultWALMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: wal dir: %w", err)
+	}
+	w := &WAL{
+		dir:      dir,
+		maxBytes: maxBytes,
+		files:    map[string]*walFile{},
+		notify:   make(chan struct{}, 1),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: wal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, walExt) {
+			continue
+		}
+		tenant := strings.TrimSuffix(name, walExt)
+		if !engine.ValidTenantName(tenant) {
+			continue // not ours; never delete foreign files
+		}
+		wf, err := w.openFile(tenant)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if wf.backlog() == 0 {
+			w.remove(wf)
+			continue
+		}
+		w.files[tenant] = wf
+		w.pending += wf.backlog()
+	}
+	if w.pending > 0 {
+		w.signal()
+	}
+	return w, nil
+}
+
+// openFile opens a tenant's journal, scans it record by record to find
+// the valid length (truncating any torn tail in place), and loads the
+// persisted replay offset, resetting it to 0 unless it lands exactly on
+// a scanned record boundary.
+func (w *WAL) openFile(tenant string) (*walFile, error) {
+	wf := &walFile{
+		tenant:  tenant,
+		path:    filepath.Join(w.dir, tenant+walExt),
+		posPath: filepath.Join(w.dir, tenant+walPosExt),
+	}
+	f, err := os.OpenFile(wf.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: wal %s: %w", tenant, err)
+	}
+	wf.f = f
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: wal %s: %w", tenant, err)
+	}
+	boundaries := map[int64]bool{0: true}
+	sr := io.NewSectionReader(f, 0, st.Size())
+	var payload []byte
+	var valid int64
+	for {
+		h, err := runio.ReadFrameHeader(sr, walMaxPayload)
+		if err != nil {
+			break // io.EOF between records, or a torn/corrupt tail
+		}
+		if payload, err = runio.ReadFramePayload(sr, h, payload); err != nil {
+			break
+		}
+		if h.Type != runio.FrameData || h.Kind != walRecordKind {
+			break
+		}
+		if _, _, _, err := splitWALPayload(payload); err != nil {
+			break
+		}
+		valid += walRecordOverhead + int64(h.Len)
+		boundaries[valid] = true
+	}
+	wf.size = valid
+	if valid < st.Size() {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: wal %s: truncating torn tail: %w", tenant, err)
+		}
+	}
+	wf.consumed = 0
+	if b, err := os.ReadFile(wf.posPath); err == nil {
+		if off, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64); err == nil && boundaries[off] {
+			wf.consumed = off
+		}
+	}
+	return wf, nil
+}
+
+// splitWALPayload parses a record payload into tenant, body kind and body.
+func splitWALPayload(payload []byte) (tenant string, kind byte, body []byte, err error) {
+	if len(payload) < 3 {
+		return "", 0, nil, fmt.Errorf("%w: wal payload %d bytes", runio.ErrFrame, len(payload))
+	}
+	tl := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) < 2+tl+1 {
+		return "", 0, nil, fmt.Errorf("%w: wal tenant length %d beyond payload", runio.ErrFrame, tl)
+	}
+	tenant = string(payload[2 : 2+tl])
+	kind = payload[2+tl]
+	if !engine.ValidTenantName(tenant) || (kind != walBodyJSON && kind != walBodyFrames) {
+		return "", 0, nil, fmt.Errorf("%w: wal record tenant %q kind %d", runio.ErrFrame, tenant, kind)
+	}
+	return tenant, kind, payload[2+tl+1:], nil
+}
+
+// Append journals one batch body for the tenant, fsync'd before it
+// returns, and reports the journal's total pending bytes. ErrWALFull
+// (counted in Drops) rejects an append past the byte budget.
+func (w *WAL) Append(tenant string, kind byte, body []byte) (pending int64, err error) {
+	payload := make([]byte, 0, 2+len(tenant)+1+len(body))
+	var tl [2]byte
+	binary.LittleEndian.PutUint16(tl[:], uint16(len(tenant)))
+	payload = append(payload, tl[:]...)
+	payload = append(payload, tenant...)
+	payload = append(payload, kind)
+	payload = append(payload, body...)
+	rec := runio.AppendRawFrame(nil, runio.FrameData, walRecordKind, payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pending+int64(len(rec)) > w.maxBytes {
+		w.drops.Add(1)
+		return w.pending, fmt.Errorf("%w (%d pending, budget %d)", ErrWALFull, w.pending, w.maxBytes)
+	}
+	wf := w.files[tenant]
+	if wf == nil {
+		wf, err = w.openFile(tenant)
+		if err != nil {
+			return w.pending, err
+		}
+		w.files[tenant] = wf
+	}
+	if _, err := wf.f.WriteAt(rec, wf.size); err != nil {
+		return w.pending, fmt.Errorf("cluster: wal %s: %w", tenant, err)
+	}
+	if err := wf.f.Sync(); err != nil {
+		return w.pending, fmt.Errorf("cluster: wal %s: fsync: %w", tenant, err)
+	}
+	wf.size += int64(len(rec))
+	w.pending += int64(len(rec))
+	w.appends.Add(1)
+	w.signal()
+	return w.pending, nil
+}
+
+// signal nudges the replayer without ever blocking an ingest handler.
+func (w *WAL) signal() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// HasBacklog reports whether the tenant has undelivered journal records —
+// the ordering gate: while true, new ingests for the tenant must append
+// behind the backlog rather than overtake it on the direct path.
+func (w *WAL) HasBacklog(tenant string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wf := w.files[tenant]
+	return wf != nil && wf.backlog() > 0
+}
+
+// Tenants lists tenants with backlog, sorted for deterministic passes.
+func (w *WAL) Tenants() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.files))
+	for tenant, wf := range w.files {
+		if wf.backlog() > 0 {
+			out = append(out, tenant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Next peeks the tenant's oldest undelivered record. The returned body
+// is a private copy — delivery needs no lock. A record unreadable at the
+// offset (impossible after open's sanitizing scan, short of on-disk bit
+// rot) discards the tenant's remaining backlog rather than wedging the
+// replayer forever.
+func (w *WAL) Next(tenant string) (WALRecord, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wf := w.files[tenant]
+	if wf == nil || wf.backlog() == 0 {
+		return WALRecord{}, false
+	}
+	sr := io.NewSectionReader(wf.f, wf.consumed, wf.backlog())
+	h, err := runio.ReadFrameHeader(sr, walMaxPayload)
+	if err != nil {
+		w.dropTailLocked(wf)
+		return WALRecord{}, false
+	}
+	payload, err := runio.ReadFramePayload(sr, h, nil)
+	if err != nil || h.Type != runio.FrameData || h.Kind != walRecordKind {
+		w.dropTailLocked(wf)
+		return WALRecord{}, false
+	}
+	recTenant, kind, body, err := splitWALPayload(payload)
+	if err != nil || recTenant != tenant {
+		w.dropTailLocked(wf)
+		return WALRecord{}, false
+	}
+	return WALRecord{
+		Tenant:      tenant,
+		ContentType: walContentType(kind),
+		Body:        body,
+		size:        walRecordOverhead + int64(h.Len),
+	}, true
+}
+
+// Consume retires a delivered record: the replay offset advances, is
+// persisted, and a fully drained journal is removed from disk.
+func (w *WAL) Consume(tenant string, rec WALRecord) {
+	w.replayed.Add(1)
+	w.advance(tenant, rec.size)
+}
+
+// Discard retires a record the workers rejected outright (4xx): it can
+// never land, so it leaves the journal and counts as a drop.
+func (w *WAL) Discard(tenant string, rec WALRecord) {
+	w.drops.Add(1)
+	w.advance(tenant, rec.size)
+}
+
+func (w *WAL) advance(tenant string, n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wf := w.files[tenant]
+	if wf == nil {
+		return
+	}
+	if n > wf.backlog() {
+		n = wf.backlog()
+	}
+	wf.consumed += n
+	w.pending -= n
+	if wf.backlog() == 0 {
+		w.remove(wf)
+		return
+	}
+	writePos(wf.posPath, wf.consumed)
+}
+
+// dropTailLocked abandons a tenant's remaining backlog (unreadable
+// records). Caller holds w.mu.
+func (w *WAL) dropTailLocked(wf *walFile) {
+	w.drops.Add(1)
+	w.pending -= wf.backlog()
+	w.remove(wf)
+}
+
+// remove deletes a drained (or abandoned) journal and its offset sidecar.
+// Caller holds w.mu (or has exclusive access during open).
+func (w *WAL) remove(wf *walFile) {
+	wf.f.Close()
+	os.Remove(wf.path)
+	os.Remove(wf.posPath)
+	delete(w.files, wf.tenant)
+}
+
+// DropTenant forgets a tenant's journal (admin delete): a deleted tenant
+// must not resurrect from its backlog.
+func (w *WAL) DropTenant(tenant string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if wf := w.files[tenant]; wf != nil {
+		w.pending -= wf.backlog()
+		w.remove(wf)
+	}
+}
+
+// Stats snapshots the journal counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	tenants := 0
+	for _, wf := range w.files {
+		if wf.backlog() > 0 {
+			tenants++
+		}
+	}
+	pending := w.pending
+	w.mu.Unlock()
+	return WALStats{
+		Appends:      w.appends.Load(),
+		Replayed:     w.replayed.Load(),
+		PendingBytes: pending,
+		Drops:        w.drops.Load(),
+		Tenants:      tenants,
+	}
+}
+
+// Close releases the journal file handles. Pending records stay on disk
+// for the next OpenWAL — closing loses nothing.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, wf := range w.files {
+		wf.f.Close()
+	}
+	w.files = map[string]*walFile{}
+	w.pending = 0
+	return nil
+}
+
+// writePos persists a replay offset atomically (write-temp-then-rename).
+// Best-effort: a lost or torn offset replays from the journal start,
+// which at-least-once delivery absorbs.
+func writePos(path string, off int64) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	_, werr := f.WriteString(strconv.FormatInt(off, 10))
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		return
+	}
+	os.Rename(tmp, path)
+}

@@ -72,10 +72,13 @@ func (b *Backpressure) Error() string {
 }
 
 // transport ships one encoded data frame and returns the server's ack:
-// elements acknowledged and the engine's element count. A shed batch
-// returns a *Backpressure.
+// elements acknowledged and the engine's element count. journaled reports
+// a coordinator that accepted the batch into its write-ahead journal
+// (202 + X-Opaq-Journaled) rather than a live worker — the batch is
+// durable and will be replayed, but n is not a read-your-writes
+// watermark for it. A shed batch returns a *Backpressure.
 type transport interface {
-	roundTrip(frame []byte) (acked uint32, n int64, err error)
+	roundTrip(frame []byte) (acked uint32, n int64, journaled bool, err error)
 	close() error
 }
 
@@ -87,11 +90,12 @@ type Client[T cmp.Ordered] struct {
 	frameTenant string // tenant field inside data frames
 	maxBatch    int
 
-	mu    sync.Mutex
-	buf   []T
-	frame []byte
-	lastN int64
-	err   error // sticky background-flush error
+	mu        sync.Mutex
+	buf       []T
+	frame     []byte
+	lastN     int64
+	journaled int64
+	err       error // sticky background-flush error
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -232,6 +236,16 @@ func (c *Client[T]) N() int64 {
 	return c.lastN
 }
 
+// Journaled returns the cumulative count of elements a coordinator
+// accepted into its write-ahead journal (202 + X-Opaq-Journaled: true)
+// instead of a live worker. Journaled elements are durable and will be
+// replayed to the fleet, but they are not yet reflected in N().
+func (c *Client[T]) Journaled() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.journaled
+}
+
 // Buffered returns the number of elements awaiting a flush.
 func (c *Client[T]) Buffered() int {
 	c.mu.Lock()
@@ -276,7 +290,7 @@ func (c *Client[T]) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	acked, n, err := c.tr.roundTrip(c.frame)
+	acked, n, journaled, err := c.tr.roundTrip(c.frame)
 	if int(acked) >= len(c.buf) {
 		c.buf = c.buf[:0]
 	} else if acked > 0 {
@@ -286,7 +300,14 @@ func (c *Client[T]) flushLocked() error {
 		c.buf = c.buf[:copy(c.buf, c.buf[acked:])]
 	}
 	if acked > 0 {
-		c.lastN = n
+		if journaled {
+			// A journaled ack means durable-at-the-coordinator, not
+			// resident-in-an-engine: count it, but leave the N() watermark
+			// to real worker acks.
+			c.journaled += int64(acked)
+		} else {
+			c.lastN = n
+		}
 	}
 	return err
 }
@@ -299,19 +320,20 @@ type tcpTransport struct {
 	payload []byte
 }
 
-func (t *tcpTransport) roundTrip(frame []byte) (uint32, int64, error) {
+func (t *tcpTransport) roundTrip(frame []byte) (uint32, int64, bool, error) {
 	if _, err := t.conn.Write(frame); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	h, err := runio.ReadFrameHeader(t.br, 0)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	t.payload, err = runio.ReadFramePayload(t.br, h, t.payload)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return decodeResponse(h, t.payload)
+	acked, n, err := decodeResponse(h, t.payload)
+	return acked, n, false, err
 }
 
 func (t *tcpTransport) close() error { return t.conn.Close() }
@@ -324,27 +346,28 @@ type httpTransport struct {
 	payload []byte
 }
 
-func (t *httpTransport) roundTrip(frame []byte) (uint32, int64, error) {
+func (t *httpTransport) roundTrip(frame []byte) (uint32, int64, bool, error) {
 	resp, err := t.client.Post(t.url, "application/octet-stream", bytes.NewReader(frame))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	journaled := resp.Header.Get("X-Opaq-Journaled") == "true"
 	h, err := runio.ReadFrameHeader(resp.Body, 0)
 	if err != nil {
 		// Not a frame body: a JSON error from a non-binary-aware route.
-		return 0, 0, fmt.Errorf("opaqclient: %s: http %d (no frame body)", t.url, resp.StatusCode)
+		return 0, 0, false, fmt.Errorf("opaqclient: %s: http %d (no frame body)", t.url, resp.StatusCode)
 	}
 	t.payload, err = runio.ReadFramePayload(resp.Body, h, t.payload)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	acked, n, err := decodeResponse(h, t.payload)
 	if err != nil || acked > 0 || h.Type != runio.FrameAck {
-		return acked, n, err
+		return acked, n, journaled, err
 	}
 	// The body is ack-then-maybe-nack; a zero ack with a trailing nack
 	// carries the real story (backpressure or a protocol rejection).
@@ -352,11 +375,11 @@ func (t *httpTransport) roundTrip(frame []byte) (uint32, int64, error) {
 		t.payload, err2 = runio.ReadFramePayload(resp.Body, h2, t.payload)
 		if err2 == nil {
 			if _, _, nerr := decodeResponse(h2, t.payload); nerr != nil {
-				return acked, n, nerr
+				return acked, n, journaled, nerr
 			}
 		}
 	}
-	return acked, n, nil
+	return acked, n, journaled, nil
 }
 
 func (t *httpTransport) close() error { return nil }

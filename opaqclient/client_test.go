@@ -3,6 +3,7 @@ package opaqclient
 import (
 	"errors"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -341,5 +342,55 @@ func TestProtocolErrorIsPlain(t *testing.T) {
 	var bp *Backpressure
 	if errors.As(err, &bp) {
 		t.Fatalf("protocol rejection surfaced as backpressure: %v", err)
+	}
+}
+
+// TestJournaledAck: a coordinator that accepts a batch into its
+// write-ahead journal answers 202 + X-Opaq-Journaled with an ack frame.
+// The client must treat that as a durable flush — buffer emptied, no
+// error — but count it under Journaled() instead of advancing the N()
+// watermark, which only real worker acks move.
+func TestJournaledAck(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, err := runio.ReadFrameHeader(r.Body, 0)
+		if err != nil {
+			t.Errorf("server: %v", err)
+			return
+		}
+		payload, err := runio.ReadFramePayload(r.Body, h, nil)
+		if err != nil {
+			t.Errorf("server: %v", err)
+			return
+		}
+		_, elems, err := runio.SplitDataPayload(payload, 8)
+		if err != nil {
+			t.Errorf("server: %v", err)
+			return
+		}
+		w.Header().Set("X-Opaq-Journaled", "true")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write(runio.AppendAckFrame(nil, uint32(len(elems)/8), 0))
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewHTTP(srv.URL, runio.Int64Codec{}, Options{MaxBatch: 100})
+	if err := c.AddBatch([]int64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("journaled flush returned error: %v", err)
+	}
+	if got := c.Buffered(); got != 0 {
+		t.Errorf("Buffered() = %d after journaled ack, want 0", got)
+	}
+	if got := c.Journaled(); got != 5 {
+		t.Errorf("Journaled() = %d, want 5", got)
+	}
+	if got := c.N(); got != 0 {
+		t.Errorf("N() = %d after journal-only acks, want 0", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
